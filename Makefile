@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench experiments quickstart clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table/figure and EXPERIMENTS.md (full scale).
+experiments:
+	go run ./cmd/experiments -out EXPERIMENTS.md
+
+# End-to-end crawl over real sockets.
+quickstart:
+	go run ./examples/quickstart
+
+clean:
+	go clean ./...

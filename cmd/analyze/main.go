@@ -1,0 +1,96 @@
+// Command analyze re-runs the paper's analyses over a saved
+// NodeFinder measurement log (the JSONL emitted by cmd/nodefinder's
+// -log flag).
+//
+//	analyze crawl.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/nodefinder/mlog"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: analyze [flags] <log.jsonl>")
+		flag.PrintDefaults()
+	}
+	skipSanitize := flag.Bool("raw", false, "skip the §5.4 abusive-IP sanitization")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	entries, err := mlog.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d log entries\n", len(entries))
+
+	nodes := analysis.Aggregate(entries)
+	fmt.Printf("%d distinct node identities\n", len(nodes))
+
+	if !*skipSanitize {
+		san := analysis.Sanitize(nodes)
+		fmt.Printf("§5.4 sanitization: removed %d identities at %d abusive IPs\n",
+			len(san.AbusiveNodes), len(san.AbusiveIPs))
+		for ip, ids := range san.AbusiveIPs {
+			fmt.Printf("  %-18s %6d identities\n", ip, len(ids))
+		}
+		nodes = san.Kept
+	}
+
+	fmt.Println("\n=== DEVp2p services (Table 3) ===")
+	for _, r := range analysis.ServiceCensus(nodes) {
+		fmt.Printf("  %-18s %6d  %6.2f%%\n", r.Key, r.Count, r.Fraction*100)
+	}
+
+	nc := analysis.Networks(nodes)
+	fmt.Println("\n=== Networks (Figure 9) ===")
+	fmt.Printf("  %d networks, %d genesis hashes, %d single-peer networks, %d Mainnet-genesis impostors\n",
+		nc.DistinctNetworks, nc.DistinctGenesis, nc.SinglePeerNetworks, nc.MainnetGenesisImpostors)
+	for i, r := range nc.Networks {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-24s %6d  %6.2f%%\n", r.Key, r.Count, r.Fraction*100)
+	}
+
+	mainnet := analysis.MainnetSubset(nodes)
+	fmt.Printf("\n=== Verified Mainnet: %d nodes ===\n", len(mainnet))
+	fmt.Println("clients (Table 4):")
+	for _, r := range analysis.ClientCensus(mainnet) {
+		fmt.Printf("  %-18s %6d  %6.2f%%\n", r.Key, r.Count, r.Fraction*100)
+	}
+	for _, client := range []string{"Geth", "Parity"} {
+		vc := analysis.Versions(mainnet, client)
+		if vc.Total == 0 {
+			continue
+		}
+		fmt.Printf("%s versions (Table 5): %d nodes, %.1f%% stable\n", client, vc.Total, vc.StableShare*100)
+	}
+
+	gc := analysis.Geography(mainnet, geo.NewDB())
+	fmt.Println("\n=== Geography (Figure 12, synthetic geo DB) ===")
+	for i, r := range gc.Countries {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-8s %6d  %6.2f%%\n", r.Key, r.Count, r.Fraction*100)
+	}
+	fmt.Printf("  top-8 AS share %.1f%% (all cloud: %v)\n", gc.Top8ASShare*100, gc.Top8AllCloud)
+
+	lat := analysis.LatencyCDF(mainnet)
+	if lat.Len() > 0 {
+		fmt.Println("\n=== Latency (Figure 13) ===")
+		fmt.Printf("  median %.1f ms, p90 %.1f ms, p99 %.1f ms (%d samples)\n",
+			lat.P(0.5), lat.P(0.9), lat.P(0.99), lat.Len())
+	}
+}

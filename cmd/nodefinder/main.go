@@ -1,0 +1,207 @@
+// Command nodefinder runs the measurement crawler.
+//
+// Two modes:
+//
+//	nodefinder -sim [-nodes N] [-days D] [-seed S] [-log out.jsonl]
+//	    Crawl a simulated DEVp2p world on a virtual clock (the
+//	    default; an 82-day measurement completes in seconds).
+//
+//	nodefinder -real -bootnodes enode://...,enode://... [-duration 30s]
+//	    Crawl a real network over UDP/TCP sockets using the full
+//	    discv4 + RLPx + DEVp2p + eth stack. Point it at ethnode
+//	    instances (see examples/quickstart) or any devp2p-compatible
+//	    listener.
+//
+// Both modes write the measurement log as JSON lines and print a
+// summary census on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/devp2p"
+	"repro/internal/discv4"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/simnet"
+
+	cryptorand "crypto/rand"
+)
+
+func main() {
+	var (
+		simMode   = flag.Bool("sim", true, "crawl a simulated world (default)")
+		realMode  = flag.Bool("real", false, "crawl a real network over sockets")
+		nodes     = flag.Int("nodes", 1200, "sim: world population")
+		days      = flag.Int("days", 7, "sim: virtual days to crawl")
+		seed      = flag.Int64("seed", 1, "sim: seed")
+		bootnodes = flag.String("bootnodes", "", "real: comma-separated enode URLs")
+		duration  = flag.Duration("duration", 30*time.Second, "real: wall-clock crawl duration")
+		logPath   = flag.String("log", "", "write measurement log (JSONL) to this path")
+	)
+	flag.Parse()
+	if *realMode {
+		*simMode = false
+	}
+
+	var sinks mlog.Tee
+	col := mlog.NewCollector()
+	sinks = append(sinks, col)
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := mlog.NewWriter(f)
+		defer w.Flush()
+		sinks = append(sinks, w)
+	}
+
+	var st nodefinder.Stats
+	var err error
+	if *simMode {
+		st, err = runSim(*nodes, *days, *seed, sinks)
+	} else {
+		st, err = runReal(*bootnodes, *duration, sinks)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("crawl complete: %d discovery rounds, %d dynamic dials, %d static dials, %d incoming, %d successful\n",
+		st.DiscoveryAttempts, st.DynamicDials, st.StaticDials, st.IncomingConns, st.SuccessfulConns)
+
+	obs := analysis.Aggregate(col.Entries())
+	san := analysis.Sanitize(obs)
+	fmt.Printf("identities: %d observed, %d removed as abusive (%d IPs), %d kept\n",
+		len(obs), len(san.AbusiveNodes), len(san.AbusiveIPs), len(san.Kept))
+	fmt.Println("\nDEVp2p services:")
+	for _, r := range analysis.ServiceCensus(san.Kept) {
+		fmt.Printf("  %-20s %6d  %5.2f%%\n", r.Key, r.Count, r.Fraction*100)
+	}
+	fmt.Println("\nClients (verified Mainnet subset):")
+	for _, r := range analysis.ClientCensus(analysis.MainnetSubset(san.Kept)) {
+		fmt.Printf("  %-20s %6d  %5.2f%%\n", r.Key, r.Count, r.Fraction*100)
+	}
+}
+
+func runSim(nodes, days int, seed int64, sink mlog.Sink) (nodefinder.Stats, error) {
+	cfg := simnet.DefaultConfig(seed)
+	cfg.BaseNodes = nodes
+	w := simnet.NewWorld(cfg)
+	f, err := nodefinder.New(nodefinder.Config{
+		Clock:     w.Clock,
+		Discovery: w.NewDiscovery(seed + 1),
+		Dialer:    w.NewDialer(seed + 2),
+		Log:       sink,
+		Seed:      seed + 3,
+	})
+	if err != nil {
+		return nodefinder.Stats{}, err
+	}
+	gen := w.StartIncoming(f, 20*time.Second, seed+4)
+	f.Start()
+	for d := 0; d < days; d++ {
+		w.Clock.Advance(24 * time.Hour)
+		fmt.Fprintf(os.Stderr, "day %d/%d: %d identities known\n", d+1, days, f.Stats().KnownNodes)
+	}
+	f.Stop()
+	gen.Stop()
+	return f.Stats(), nil
+}
+
+func runReal(bootURLs string, duration time.Duration, sink mlog.Sink) (nodefinder.Stats, error) {
+	if bootURLs == "" {
+		return nodefinder.Stats{}, fmt.Errorf("real mode requires -bootnodes")
+	}
+	var boots []*enode.Node
+	for _, u := range strings.Split(bootURLs, ",") {
+		n, err := enode.ParseURL(strings.TrimSpace(u))
+		if err != nil {
+			return nodefinder.Stats{}, fmt.Errorf("bootnode %q: %w", u, err)
+		}
+		boots = append(boots, n)
+	}
+
+	key, err := secp256k1.GenerateKey(cryptorand.Reader)
+	if err != nil {
+		return nodefinder.Stats{}, err
+	}
+	udp, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4zero})
+	if err != nil {
+		return nodefinder.Stats{}, err
+	}
+	hello := devp2p.Hello{
+		Version:    devp2p.Version,
+		Name:       "NodeFinder/v1.0 (research scanner; see DESIGN.md)",
+		Caps:       []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}},
+		ListenPort: 30303,
+	}
+	status := eth.Status{
+		ProtocolVersion: uint32(eth.Version63),
+		NetworkID:       1,
+	}
+
+	// The incoming listener and discovery share a port number so
+	// peers can dial back; the Finder is attached below, before any
+	// peer can have learned the address.
+	listener, err := nodefinder.ListenIncoming("", key, hello, status, nil)
+	if err != nil {
+		return nodefinder.Stats{}, err
+	}
+	defer listener.Close()
+	port := uint16(listener.Addr().Port)
+	hello.ListenPort = uint64(port)
+
+	disc, err := discv4.Listen(discv4.UDPConn{UDPConn: udp}, discv4.Config{
+		Key:         key,
+		AnnounceTCP: port,
+		Bootnodes:   boots,
+	})
+	if err != nil {
+		return nodefinder.Stats{}, err
+	}
+	defer disc.Close()
+
+	f, err := nodefinder.New(nodefinder.Config{
+		Discovery: nodefinder.RealDiscovery{T: disc},
+		Dialer: &nodefinder.RealDialer{
+			Key:      key,
+			Hello:    hello,
+			Status:   status,
+			CheckDAO: true,
+		},
+		Log:            sink,
+		LookupInterval: time.Second,
+		StaticInterval: 10 * time.Second,
+	})
+	if err != nil {
+		return nodefinder.Stats{}, err
+	}
+	listener.Finder = f
+	for _, b := range boots {
+		if err := disc.Ping(b); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: bootstrap ping %s: %v\n", b.ID.TerminalString(), err)
+		}
+		f.AddStatic(b)
+	}
+	f.Start()
+	time.Sleep(duration)
+	f.Stop()
+	return f.Stats(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

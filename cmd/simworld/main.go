@@ -1,0 +1,106 @@
+// Command simworld builds a simulated DEVp2p world and prints its
+// composition: the ground truth NodeFinder is later measured against.
+//
+// Usage:
+//
+//	simworld [-nodes N] [-seed S] [-advance DURATION]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 1500, "base population size")
+		seed    = flag.Int64("seed", 1, "world seed")
+		advance = flag.Duration("advance", 24*time.Hour, "virtual time to advance (abusive minting happens over time)")
+	)
+	flag.Parse()
+
+	cfg := simnet.DefaultConfig(*seed)
+	cfg.BaseNodes = *nodes
+	w := simnet.NewWorld(cfg)
+	w.Clock.Advance(*advance)
+	now := w.Clock.Now()
+
+	services := map[simnet.Service]int{}
+	clients := map[simnet.ClientType]int{}
+	networks := map[string]int{}
+	reachable, online, abusive, mainnet := 0, 0, 0, 0
+	for _, n := range w.Nodes {
+		services[n.Service]++
+		if n.Service == simnet.SvcEth {
+			clients[n.Client]++
+			if n.Network != nil {
+				networks[n.Network.Name]++
+			}
+			if n.Network == w.Mainnet && !n.Abusive {
+				mainnet++
+			}
+		}
+		if n.Reachable {
+			reachable++
+		}
+		if n.OnlineAt(now) {
+			online++
+		}
+		if n.Abusive {
+			abusive++
+		}
+	}
+
+	fmt.Printf("World seed=%d at %s (+%s virtual)\n", *seed, now.Format(time.RFC3339), *advance)
+	fmt.Printf("Identities: %d total, %d online now, %d reachable, %d abusive, %d genuine Mainnet\n",
+		len(w.Nodes), online, reachable, abusive, mainnet)
+	fmt.Printf("Mainnet head: block %d\n\n", w.Mainnet.HeadAt(now))
+
+	fmt.Println("Services:")
+	printCounts(convertKeys(services))
+	fmt.Println("\neth clients:")
+	printCounts(convertKeys(clients))
+	fmt.Println("\neth networks:")
+	printCounts(networks)
+
+	fmt.Printf("\nAbusive generator IPs: %d\n", len(w.AbusiveAddrs))
+	for _, ip := range w.AbusiveAddrs {
+		fmt.Printf("  %s\n", ip)
+	}
+	os.Exit(0)
+}
+
+func convertKeys[K ~string](m map[K]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[string(k)] = v
+	}
+	return out
+}
+
+func printCounts(m map[string]int) {
+	type kv struct {
+		k string
+		v int
+	}
+	var rows []kv
+	total := 0
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+		total += v
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	for _, r := range rows {
+		fmt.Printf("  %-24s %6d  %5.2f%%\n", r.k, r.v, 100*float64(r.v)/float64(total))
+	}
+}

@@ -1,0 +1,75 @@
+// Case study (§3 of the paper): instrument a default Geth and a
+// default Parity client for a week and observe how they behave on the
+// noisy network — peer convergence (Figure 4), message mix (Figures
+// 2-3), and disconnect reasons (Table 1).
+//
+//	go run ./examples/casestudy [-days 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/devp2p"
+	"repro/internal/simnet"
+)
+
+func main() {
+	days := flag.Int("days", 7, "observation days")
+	flag.Parse()
+
+	gcfg := simnet.DefaultGethObserver(1)
+	pcfg := simnet.DefaultParityObserver(1)
+	gcfg.Duration = time.Duration(*days) * 24 * time.Hour
+	pcfg.Duration = gcfg.Duration
+
+	fmt.Printf("running %d-day case study: Geth 1.7.3 (25 peers) vs Parity 1.7.9 (50 peers)\n\n", *days)
+	g := simnet.RunCaseStudy(gcfg)
+	p := simnet.RunCaseStudy(pcfg)
+
+	fmt.Println("=== Figure 4: peer convergence ===")
+	fmt.Printf("Geth:   reached 25 peers in %v; at cap %.1f%% of the time\n", g.TimeToFull, g.OccupancyFraction*100)
+	fmt.Printf("Parity: reached 50 peers in %v; at cap %.1f%% of the time\n\n", p.TimeToFull, p.OccupancyFraction*100)
+
+	fmt.Println("=== Figures 2-3: message totals ===")
+	printMsgs("Geth received", g.MsgRecv)
+	printMsgs("Geth sent", g.MsgSent)
+	printMsgs("Parity received", p.MsgRecv)
+	printMsgs("Parity sent", p.MsgSent)
+	fmt.Printf("Geth broadcasts transactions to ALL peers; Parity relays to √n:\n")
+	fmt.Printf("  TX sent — Geth: %d   Parity: %d  (%.1fx)\n\n",
+		g.MsgSent["TRANSACTIONS"], p.MsgSent["TRANSACTIONS"],
+		float64(g.MsgSent["TRANSACTIONS"])/float64(max64(p.MsgSent["TRANSACTIONS"], 1)))
+
+	fmt.Println("=== Table 1: disconnect reasons ===")
+	fmt.Printf("%-24s %12s %12s %12s %12s\n", "Reason", "recv Geth", "recv Parity", "sent Geth", "sent Parity")
+	reasons := []devp2p.DisconnectReason{
+		devp2p.DiscTooManyPeers, devp2p.DiscSubprotocolError, devp2p.DiscRequested,
+		devp2p.DiscUselessPeer, devp2p.DiscAlreadyConnected, devp2p.DiscReadTimeout, devp2p.DiscQuitting,
+	}
+	for _, r := range reasons {
+		fmt.Printf("%-24s %12d %12d %12d %12d\n", r, g.DiscRecv[r], p.DiscRecv[r], g.DiscSent[r], p.DiscSent[r])
+	}
+	fmt.Println("\nNote the two §3 signatures: sent 'Too many peers' dwarfs everything")
+	fmt.Println("(both clients sit at their peer cap), and Parity sends zero")
+	fmt.Println("'Subprotocol error' messages — it treats codes past 0x0b as Unknown.")
+}
+
+func printMsgs(title string, m map[string]uint64) {
+	fmt.Printf("%s:\n", title)
+	order := []string{"TRANSACTIONS", "GET_BLOCK_HEADERS", "BLOCK_HEADERS", "GET_BLOCK_BODIES",
+		"BLOCK_BODIES", "NEW_BLOCK_HASHES", "NEW_BLOCK", "PING", "PONG", "DISCONNECT"}
+	for _, k := range order {
+		if v, ok := m[k]; ok {
+			fmt.Printf("  %-20s %12d\n", k, v)
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+)
+
+// Churn quantifies node availability dynamics, the dimension the
+// paper compares against the file-sharing measurement literature
+// (Saroiu et al., Pouwelse et al.; §7, §9): how long nodes stay
+// responsive, how they disappear and return, and what fraction of
+// identities are one-shot visitors.
+type ChurnResult struct {
+	// SessionCDF is the distribution of responsive-session lengths
+	// in minutes. A session is a maximal run of responsive
+	// observations with no gap over SessionGap.
+	SessionCDF *CDF
+	// InterSessionCDF is the distribution of offline gaps between a
+	// node's sessions, in minutes.
+	InterSessionCDF *CDF
+	// OneShotFraction is the share of identities responsive exactly
+	// once — the paper's abusive IP population was 80% one-shot.
+	OneShotFraction float64
+	// MedianSessionsPerNode is the median session count.
+	MedianSessionsPerNode float64
+	// ReturningFraction is the share of nodes with 2+ sessions.
+	ReturningFraction float64
+}
+
+// SessionGap is the silence that ends a responsive session. The
+// crawler re-dials every 30 minutes, so two consecutive successful
+// probes are at most ~35 minutes apart on a continuously-online node.
+const SessionGap = 45 * time.Minute
+
+// Churn computes availability dynamics over per-node observations.
+func Churn(nodes map[string]*NodeObservation) *ChurnResult {
+	var sessions []float64
+	var gaps []float64
+	oneShot, returning, total := 0, 0, 0
+	var sessionCounts []float64
+
+	for _, o := range nodes {
+		var times []time.Time
+		for _, e := range o.Entries {
+			if e.Hello != nil || e.DisconnectReason != nil {
+				times = append(times, e.Time)
+			}
+		}
+		if len(times) == 0 {
+			continue
+		}
+		total++
+		sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+		if len(times) == 1 {
+			oneShot++
+			sessions = append(sessions, 0)
+			sessionCounts = append(sessionCounts, 1)
+			continue
+		}
+		// Split into sessions at gaps over SessionGap.
+		count := 1
+		start := times[0]
+		prev := times[0]
+		for _, t := range times[1:] {
+			if t.Sub(prev) > SessionGap {
+				sessions = append(sessions, prev.Sub(start).Minutes())
+				gaps = append(gaps, t.Sub(prev).Minutes())
+				start = t
+				count++
+			}
+			prev = t
+		}
+		sessions = append(sessions, prev.Sub(start).Minutes())
+		sessionCounts = append(sessionCounts, float64(count))
+		if count > 1 {
+			returning++
+		}
+	}
+
+	res := &ChurnResult{
+		SessionCDF:      NewCDF(sessions),
+		InterSessionCDF: NewCDF(gaps),
+	}
+	if total > 0 {
+		res.OneShotFraction = float64(oneShot) / float64(total)
+		res.ReturningFraction = float64(returning) / float64(total)
+	}
+	res.MedianSessionsPerNode = NewCDF(sessionCounts).P(0.5)
+	return res
+}

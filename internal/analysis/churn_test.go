@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nodefinder/mlog"
+)
+
+func TestChurnSessions(t *testing.T) {
+	js := []string{"eth/63"}
+	var entries []*mlog.Entry
+	// Node A: two sessions — 2h of half-hourly probes, a 6h gap,
+	// then 1h more.
+	for m := 0; m <= 120; m += 30 {
+		entries = append(entries, helloEntry("a", "1.0.0.1", "Geth/v1", js, t0.Add(time.Duration(m)*time.Minute)))
+	}
+	for m := 0; m <= 60; m += 30 {
+		entries = append(entries, helloEntry("a", "1.0.0.1", "Geth/v1", js, t0.Add(8*time.Hour+time.Duration(m)*time.Minute)))
+	}
+	// Node B: one-shot.
+	entries = append(entries, helloEntry("b", "1.0.0.2", "Geth/v1", js, t0))
+	// Node C: failed dials only — not part of churn population.
+	failed := entry("c", "1.0.0.3", t0)
+	failed.Err = "refused"
+	entries = append(entries, failed)
+
+	res := Churn(Aggregate(entries))
+	if res.SessionCDF.Len() != 3 { // a's two sessions + b's zero-length
+		t.Fatalf("sessions: %d", res.SessionCDF.Len())
+	}
+	if res.InterSessionCDF.Len() != 1 {
+		t.Fatalf("gaps: %d", res.InterSessionCDF.Len())
+	}
+	gap := res.InterSessionCDF.P(0.5)
+	if gap < 5*60 || gap > 7*60 {
+		t.Errorf("gap %f minutes, want ≈360", gap)
+	}
+	if res.OneShotFraction != 0.5 { // b of {a, b}
+		t.Errorf("one-shot %f", res.OneShotFraction)
+	}
+	if res.ReturningFraction != 0.5 { // a of {a, b}
+		t.Errorf("returning %f", res.ReturningFraction)
+	}
+}
+
+func TestChurnEmpty(t *testing.T) {
+	res := Churn(map[string]*NodeObservation{})
+	if res.OneShotFraction != 0 || res.SessionCDF.Len() != 0 {
+		t.Fatal("non-zero churn from empty input")
+	}
+}

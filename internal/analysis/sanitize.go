@@ -1,0 +1,186 @@
+// Package analysis implements the paper's data analyses over
+// NodeFinder measurement logs: the §5.4 sanitization filter, the
+// ecosystem censuses of §6 (services, networks, clients, versions),
+// and the §7 network comparisons (size, geography, latency,
+// freshness).
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/nodefinder/mlog"
+)
+
+// NodeObservation aggregates everything the log saw about one node
+// identity.
+type NodeObservation struct {
+	ID        string
+	IP        string
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// FirstResponsive/LastResponsive bound the node's *responsive*
+	// activity: entries where it actually answered (HELLO or
+	// DISCONNECT). Failed re-dials to a dead address extend
+	// LastSeen but not LastResponsive; the §5.4 liveness filter
+	// works on the responsive span.
+	FirstResponsive time.Time
+	LastResponsive  time.Time
+	Responsive      bool
+	// Entries are this node's log records, in time order.
+	Entries []*mlog.Entry
+
+	// Convenience fields extracted from the most recent useful
+	// entries.
+	ClientName  string
+	Caps        []string
+	NetworkID   uint64
+	GenesisHash string
+	BestBlock   uint64
+	// LastStatusTime is when BestBlock was reported; freshness must
+	// be judged against the chain head at that moment.
+	LastStatusTime time.Time
+	HasStatus      bool
+	DAOFork        string // "", "supported", "opposed", "unknown"
+	LatencyUS      int64
+}
+
+// Active returns how long the identity was observed.
+func (o *NodeObservation) Active() time.Duration { return o.LastSeen.Sub(o.FirstSeen) }
+
+// ResponsiveSpan returns how long the identity actually answered.
+func (o *NodeObservation) ResponsiveSpan() time.Duration {
+	if !o.Responsive {
+		return 0
+	}
+	return o.LastResponsive.Sub(o.FirstResponsive)
+}
+
+// Aggregate groups log entries into per-node observations.
+func Aggregate(entries []*mlog.Entry) map[string]*NodeObservation {
+	nodes := make(map[string]*NodeObservation)
+	for _, e := range entries {
+		if e.NodeID == "" {
+			continue
+		}
+		o, ok := nodes[e.NodeID]
+		if !ok {
+			o = &NodeObservation{ID: e.NodeID, FirstSeen: e.Time, LastSeen: e.Time}
+			nodes[e.NodeID] = o
+		}
+		if e.Time.Before(o.FirstSeen) {
+			o.FirstSeen = e.Time
+		}
+		if e.Time.After(o.LastSeen) {
+			o.LastSeen = e.Time
+		}
+		if e.Hello != nil || e.DisconnectReason != nil {
+			if !o.Responsive || e.Time.Before(o.FirstResponsive) {
+				o.FirstResponsive = e.Time
+			}
+			if !o.Responsive || e.Time.After(o.LastResponsive) {
+				o.LastResponsive = e.Time
+			}
+			o.Responsive = true
+		}
+		o.Entries = append(o.Entries, e)
+		if e.IP != "" {
+			o.IP = e.IP
+		}
+		if e.Hello != nil {
+			o.ClientName = e.Hello.ClientName
+			o.Caps = e.Hello.Caps
+		}
+		if e.Status != nil && !e.Time.Before(o.LastStatusTime) {
+			o.NetworkID = e.Status.NetworkID
+			o.GenesisHash = e.Status.GenesisHash
+			o.BestBlock = e.Status.BestBlock
+			o.LastStatusTime = e.Time
+			o.HasStatus = true
+		}
+		if e.DAOFork != "" {
+			o.DAOFork = e.DAOFork
+		}
+		if e.LatencyUS > 0 {
+			o.LatencyUS = e.LatencyUS
+		}
+	}
+	for _, o := range nodes {
+		sort.Slice(o.Entries, func(i, j int) bool { return o.Entries[i].Time.Before(o.Entries[j].Time) })
+	}
+	return nodes
+}
+
+// SanitizeResult reports the §5.4 filter outcome.
+type SanitizeResult struct {
+	// AbusiveIPs maps each flagged IP to the node IDs it minted.
+	AbusiveIPs map[string][]string
+	// AbusiveNodes is the set of removed node IDs.
+	AbusiveNodes map[string]bool
+	// Kept is the sanitized observation set.
+	Kept map[string]*NodeObservation
+}
+
+// Sanitize applies the paper's exact five-step abusive-IP filter:
+//
+//  1. Choose nodes active for less than 30 minutes.
+//  2. Group the chosen nodes by IP.
+//  3. Exclude IPs that map to fewer than 3 nodes.
+//  4. Calculate each IP's new-node generation rate.
+//  5. Flag IPs that generate new nodes every 30 minutes or faster on
+//     average.
+//
+// Nodes from flagged IPs are removed from the dataset.
+func Sanitize(nodes map[string]*NodeObservation) *SanitizeResult {
+	const shortLived = 30 * time.Minute
+
+	// Steps 1-2. "Active" means responsive activity: a dead address
+	// that keeps refusing re-dials is not active.
+	byIP := map[string][]*NodeObservation{}
+	for _, o := range nodes {
+		if o.Responsive && o.ResponsiveSpan() < shortLived && o.IP != "" {
+			byIP[o.IP] = append(byIP[o.IP], o)
+		}
+	}
+
+	res := &SanitizeResult{
+		AbusiveIPs:   map[string][]string{},
+		AbusiveNodes: map[string]bool{},
+		Kept:         map[string]*NodeObservation{},
+	}
+	for ip, group := range byIP {
+		// Step 3.
+		if len(group) < 3 {
+			continue
+		}
+		// Step 4: generation rate = span of first-contact times /
+		// (n-1) new IDs.
+		first, last := group[0].FirstResponsive, group[0].FirstResponsive
+		for _, o := range group {
+			if o.FirstResponsive.Before(first) {
+				first = o.FirstResponsive
+			}
+			if o.FirstResponsive.After(last) {
+				last = o.FirstResponsive
+			}
+		}
+		span := last.Sub(first)
+		interval := span / time.Duration(len(group)-1)
+		// Step 5.
+		if interval <= shortLived {
+			ids := make([]string, 0, len(group))
+			for _, o := range group {
+				ids = append(ids, o.ID)
+				res.AbusiveNodes[o.ID] = true
+			}
+			sort.Strings(ids)
+			res.AbusiveIPs[ip] = ids
+		}
+	}
+	for id, o := range nodes {
+		if !res.AbusiveNodes[id] {
+			res.Kept[id] = o
+		}
+	}
+	return res
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/nodefinder/mlog"
+)
+
+// dayIndex buckets a timestamp into a day number from start.
+func dayIndex(start, t time.Time) int {
+	return int(t.Sub(start) / (24 * time.Hour))
+}
+
+// DialSeries builds the Figures 6-7 daily series from log entries:
+// unique nodes dynamic-dialed per day, and unique nodes responding
+// (HELLO exchanged) per day.
+func DialSeries(entries []*mlog.Entry, start time.Time, days int) (dialed, responded *DailySeries) {
+	dialedSets := make([]map[string]bool, days)
+	respSets := make([]map[string]bool, days)
+	for i := range dialedSets {
+		dialedSets[i] = map[string]bool{}
+		respSets[i] = map[string]bool{}
+	}
+	for _, e := range entries {
+		if e.ConnType != mlog.ConnDynamicDial {
+			continue
+		}
+		d := dayIndex(start, e.Time)
+		if d < 0 || d >= days {
+			continue
+		}
+		dialedSets[d][e.NodeID] = true
+		if e.Succeeded() || e.DisconnectReason != nil {
+			// The paper counts a node as responding when a DEVp2p
+			// message (HELLO or DISCONNECT) came back.
+			respSets[d][e.NodeID] = true
+		}
+	}
+	dialed = &DailySeries{Start: start, Days: make([]float64, days)}
+	responded = &DailySeries{Start: start, Days: make([]float64, days)}
+	for i := 0; i < days; i++ {
+		dialed.Days[i] = float64(len(dialedSets[i]))
+		responded.Days[i] = float64(len(respSets[i]))
+	}
+	return dialed, responded
+}
+
+// DialAttemptSeries builds Figure 5's daily dial-attempt counts (not
+// unique nodes) split by type, plus Figure 8's per-node dial counts.
+func DialAttemptSeries(entries []*mlog.Entry, start time.Time, days int) (dynamic, static *DailySeries) {
+	dynamic = &DailySeries{Start: start, Days: make([]float64, days)}
+	static = &DailySeries{Start: start, Days: make([]float64, days)}
+	for _, e := range entries {
+		d := dayIndex(start, e.Time)
+		if d < 0 || d >= days {
+			continue
+		}
+		switch e.ConnType {
+		case mlog.ConnDynamicDial:
+			dynamic.Days[d]++
+		case mlog.ConnStaticDial:
+			static.Days[d]++
+		}
+	}
+	return dynamic, static
+}
+
+// NodeDialSeries builds Figure 8: daily dials to one specific node,
+// split by connection type.
+func NodeDialSeries(entries []*mlog.Entry, nodeID string, start time.Time, days int) (dynamic, static *DailySeries) {
+	dynamic = &DailySeries{Start: start, Days: make([]float64, days)}
+	static = &DailySeries{Start: start, Days: make([]float64, days)}
+	for _, e := range entries {
+		if e.NodeID != nodeID {
+			continue
+		}
+		d := dayIndex(start, e.Time)
+		if d < 0 || d >= days {
+			continue
+		}
+		switch e.ConnType {
+		case mlog.ConnDynamicDial:
+			dynamic.Days[d]++
+		case mlog.ConnStaticDial:
+			static.Days[d]++
+		}
+	}
+	return dynamic, static
+}
+
+// VersionSeries is Figure 10: per-day node counts for each version of
+// one client.
+type VersionSeries struct {
+	Start    time.Time
+	Versions []string
+	// Counts[v][d] is the number of distinct nodes running version v
+	// seen on day d.
+	Counts map[string][]float64
+}
+
+// VersionAdoption builds Figure 10 for the given client prefix.
+func VersionAdoption(entries []*mlog.Entry, client string, start time.Time, days int) *VersionSeries {
+	perDay := make([]map[string]map[string]bool, days) // day -> version -> node set
+	for i := range perDay {
+		perDay[i] = map[string]map[string]bool{}
+	}
+	versions := map[string]bool{}
+	for _, e := range entries {
+		if e.Hello == nil || !strings.HasPrefix(e.Hello.ClientName, client+"/") {
+			continue
+		}
+		d := dayIndex(start, e.Time)
+		if d < 0 || d >= days {
+			continue
+		}
+		parts := strings.SplitN(e.Hello.ClientName, "/", 3)
+		if len(parts) < 2 {
+			continue
+		}
+		v := parts[1]
+		versions[v] = true
+		set, ok := perDay[d][v]
+		if !ok {
+			set = map[string]bool{}
+			perDay[d][v] = set
+		}
+		set[e.NodeID] = true
+	}
+	vs := &VersionSeries{Start: start, Counts: map[string][]float64{}}
+	for v := range versions {
+		vs.Versions = append(vs.Versions, v)
+	}
+	sort.Strings(vs.Versions)
+	for _, v := range vs.Versions {
+		row := make([]float64, days)
+		for d := 0; d < days; d++ {
+			row[d] = float64(len(perDay[d][v]))
+		}
+		vs.Counts[v] = row
+	}
+	return vs
+}
+
+// OlderThanShare computes §6.2's "68.3% were running versions older
+// than 2 iterations" style metric: the share of client nodes on the
+// final day running a version below cutoff (lexicographic semver-ish
+// comparison over the provided ordered release list).
+func OlderThanShare(entries []*mlog.Entry, client string, releases []string, cutoff string, onDay time.Time) float64 {
+	rankOf := map[string]int{}
+	for i, r := range releases {
+		rankOf[r] = i
+	}
+	cutoffRank, ok := rankOf[cutoff]
+	if !ok {
+		return 0
+	}
+	dayStart := onDay.Truncate(24 * time.Hour)
+	dayEnd := dayStart.Add(24 * time.Hour)
+	old := map[string]bool{}
+	all := map[string]bool{}
+	for _, e := range entries {
+		if e.Hello == nil || !strings.HasPrefix(e.Hello.ClientName, client+"/") {
+			continue
+		}
+		if e.Time.Before(dayStart) || !e.Time.Before(dayEnd) {
+			continue
+		}
+		parts := strings.SplitN(e.Hello.ClientName, "/", 3)
+		if len(parts) < 2 {
+			continue
+		}
+		all[e.NodeID] = true
+		if r, ok := rankOf[parts[1]]; ok && r < cutoffRank {
+			old[e.NodeID] = true
+		} else if !ok {
+			// Unknown (ancient) versions count as old.
+			old[e.NodeID] = true
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	return float64(len(old)) / float64(len(all))
+}

@@ -1,0 +1,156 @@
+package chain
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestHexToHash(t *testing.T) {
+	h, err := HexToHash("d4e56740f876aef8c010b86a40d5f56745a118d0906a34e69aec8c0db1cb8fa3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != MainnetGenesisHash {
+		t.Fatal("mismatch")
+	}
+	// 0x prefix accepted.
+	h2, err := HexToHash("0xd4e56740f876aef8c010b86a40d5f56745a118d0906a34e69aec8c0db1cb8fa3")
+	if err != nil || h2 != h {
+		t.Fatal("0x prefix")
+	}
+	// Errors.
+	if _, err := HexToHash("abcd"); err == nil {
+		t.Error("short accepted")
+	}
+	if _, err := HexToHash("zz" + "d4e56740f876aef8c010b86a40d5f56745a118d0906a34e69aec8c0db1cb8fa3"[2:]); err == nil {
+		t.Error("bad hex accepted")
+	}
+}
+
+func TestHashStrings(t *testing.T) {
+	if MainnetGenesisHash.Hex() != "d4e56740f876aef8c010b86a40d5f56745a118d0906a34e69aec8c0db1cb8fa3" {
+		t.Error(MainnetGenesisHash.Hex())
+	}
+	// The paper writes the genesis as d4e567…, ending cb8fa3.
+	if MainnetGenesisHash.Short() != "d4e567…cb8fa3" {
+		t.Error(MainnetGenesisHash.Short())
+	}
+}
+
+func TestChainConstruction(t *testing.T) {
+	c := New(Config{NetworkID: 1, GenesisSeed: "mainnet-sim", Length: 10})
+	if c.Len() != 11 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if c.Head().Number.Uint64() != 10 {
+		t.Fatalf("head number %d", c.Head().Number)
+	}
+	if c.GenesisHash() == (Hash{}) {
+		t.Fatal("zero genesis hash")
+	}
+	if c.HeadHash() == c.GenesisHash() {
+		t.Fatal("head equals genesis")
+	}
+}
+
+func TestDistinctGenesisSeeds(t *testing.T) {
+	a := New(Config{NetworkID: 1, GenesisSeed: "a"})
+	b := New(Config{NetworkID: 1, GenesisSeed: "b"})
+	if a.GenesisHash() == b.GenesisHash() {
+		t.Fatal("different seeds share a genesis hash")
+	}
+	// Same seed is deterministic.
+	a2 := New(Config{NetworkID: 1, GenesisSeed: "a"})
+	if a.GenesisHash() != a2.GenesisHash() {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestTotalDifficultyGrows(t *testing.T) {
+	c := New(Config{NetworkID: 1, GenesisSeed: "x"})
+	td0 := c.TD()
+	c.Extend()
+	if c.TD().Cmp(td0) <= 0 {
+		t.Fatal("TD did not grow")
+	}
+}
+
+func TestHeaderLookups(t *testing.T) {
+	c := New(Config{NetworkID: 1, GenesisSeed: "x", Length: 5})
+	h3 := c.HeaderByNumber(3)
+	if h3 == nil || h3.Number.Uint64() != 3 {
+		t.Fatal("by number failed")
+	}
+	if got := c.HeaderByHash(h3.HashValue()); got != h3 {
+		t.Fatal("by hash failed")
+	}
+	if c.HeaderByNumber(99) != nil {
+		t.Fatal("phantom header")
+	}
+	if c.HeaderByHash(Hash{1}) != nil {
+		t.Fatal("phantom by hash")
+	}
+}
+
+func TestDAOForkExtraData(t *testing.T) {
+	c := New(Config{NetworkID: 1, GenesisSeed: "mainnet", DAOFork: true})
+	c.ExtendTo(DAOForkBlock + 12)
+	fork := c.HeaderByNumber(DAOForkBlock)
+	if fork == nil {
+		t.Fatal("no fork header")
+	}
+	if !fork.SupportsDAOFork() {
+		t.Fatal("pro-fork chain lacks dao-hard-fork extra data")
+	}
+	if string(fork.Extra) != "dao-hard-fork" {
+		t.Fatalf("extra = %q", fork.Extra)
+	}
+	// Blocks outside the 10-block window have no marker.
+	if c.HeaderByNumber(DAOForkBlock + 11).SupportsDAOFork() {
+		t.Fatal("marker outside window")
+	}
+
+	classic := New(Config{NetworkID: 1, GenesisSeed: "mainnet", DAOFork: false})
+	classic.ExtendTo(DAOForkBlock + 1)
+	if classic.HeaderByNumber(DAOForkBlock).SupportsDAOFork() {
+		t.Fatal("classic chain supports fork")
+	}
+}
+
+func TestValidateHeaderChain(t *testing.T) {
+	c := New(Config{NetworkID: 1, GenesisSeed: "v", Length: 20})
+	var headers []*Header
+	for i := uint64(0); i <= 20; i++ {
+		headers = append(headers, c.HeaderByNumber(i))
+	}
+	if idx := ValidateHeaderChain(headers); idx != -1 {
+		t.Fatalf("valid chain rejected at %d", idx)
+	}
+	// Break linkage.
+	bad := append([]*Header(nil), headers...)
+	broken := *bad[10]
+	broken.ParentHash = Hash{0xFF}
+	bad[10] = &broken
+	if idx := ValidateHeaderChain(bad); idx != 10 {
+		t.Fatalf("broken link found at %d, want 10", idx)
+	}
+}
+
+func TestHeaderHashDeterministic(t *testing.T) {
+	f := func(num uint64, extra []byte) bool {
+		h := &Header{Difficulty: big.NewInt(1), Number: new(big.Int).SetUint64(num % 1e9), Extra: extra}
+		return h.HashValue() == h.HashValue()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderHashSensitivity(t *testing.T) {
+	h1 := &Header{Difficulty: big.NewInt(1), Number: big.NewInt(1)}
+	h2 := &Header{Difficulty: big.NewInt(1), Number: big.NewInt(2)}
+	if h1.HashValue() == h2.HashValue() {
+		t.Fatal("distinct headers share a hash")
+	}
+}

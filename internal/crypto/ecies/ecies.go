@@ -1,0 +1,136 @@
+// Package ecies implements the Elliptic Curve Integrated Encryption
+// Scheme as profiled by RLPx, Ethereum's transport handshake.
+//
+// RLPx encrypts its auth and ack handshake messages with
+// ECIES(secp256k1, SHA-256 concat-KDF, AES-128-CTR, HMAC-SHA256).
+// The ciphertext layout is:
+//
+//	0x04 || ephemeral pubkey (64) || IV (16) || ciphertext || MAC (32)
+//
+// The MAC covers IV || ciphertext with an optional shared-info
+// suffix s2; RLPx uses the encrypted message length prefix as s2 in
+// the EIP-8 framing.
+package ecies
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/crypto/secp256k1"
+)
+
+// Overhead is the number of bytes ECIES adds to a plaintext:
+// 65-byte ephemeral key, 16-byte IV, 32-byte MAC.
+const Overhead = 65 + 16 + 32
+
+// ErrInvalidMAC is returned when the authentication tag check fails.
+var ErrInvalidMAC = errors.New("ecies: invalid message authentication code")
+
+// ErrTooShort is returned for ciphertexts below the minimum size.
+var ErrTooShort = errors.New("ecies: ciphertext too short")
+
+// kdf derives length bytes from the shared secret z and shared info
+// s1 using the NIST SP 800-56 concatenation KDF with SHA-256.
+func kdf(z, s1 []byte, length int) []byte {
+	out := make([]byte, 0, length+sha256.Size)
+	var counter uint32 = 1
+	for len(out) < length {
+		h := sha256.New()
+		var ctr [4]byte
+		ctr[0] = byte(counter >> 24)
+		ctr[1] = byte(counter >> 16)
+		ctr[2] = byte(counter >> 8)
+		ctr[3] = byte(counter)
+		h.Write(ctr[:])
+		h.Write(z)
+		h.Write(s1)
+		out = h.Sum(out)
+		counter++
+	}
+	return out[:length]
+}
+
+// deriveKeys splits KDF output into the 16-byte AES key and the
+// SHA-256-hashed MAC key.
+func deriveKeys(z, s1 []byte) (ke, km []byte) {
+	k := kdf(z, s1, 32)
+	ke = k[:16]
+	kmRaw := sha256.Sum256(k[16:32])
+	return ke, kmRaw[:]
+}
+
+func messageTag(km, ivCiphertext, s2 []byte) []byte {
+	mac := hmac.New(sha256.New, km)
+	mac.Write(ivCiphertext)
+	mac.Write(s2)
+	return mac.Sum(nil)
+}
+
+// Encrypt encrypts msg for the owner of pub. s1 feeds the KDF and s2
+// feeds the MAC; either may be nil. rand supplies the ephemeral key
+// and IV.
+func Encrypt(rand io.Reader, pub *secp256k1.PublicKey, msg, s1, s2 []byte) ([]byte, error) {
+	eph, err := secp256k1.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("ecies: ephemeral key: %w", err)
+	}
+	z, err := secp256k1.SharedSecret(eph, pub)
+	if err != nil {
+		return nil, fmt.Errorf("ecies: ECDH: %w", err)
+	}
+	ke, km := deriveKeys(z, s1)
+
+	iv := make([]byte, aes.BlockSize)
+	if _, err := io.ReadFull(rand, iv); err != nil {
+		return nil, fmt.Errorf("ecies: IV: %w", err)
+	}
+	block, err := aes.NewCipher(ke)
+	if err != nil {
+		return nil, err
+	}
+	ct := make([]byte, len(msg))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, msg)
+
+	out := make([]byte, 0, Overhead+len(msg))
+	out = append(out, eph.Pub.SerializeUncompressed()...)
+	out = append(out, iv...)
+	out = append(out, ct...)
+	out = append(out, messageTag(km, out[65:], s2)...)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt using the recipient's private key.
+func Decrypt(priv *secp256k1.PrivateKey, ct, s1, s2 []byte) ([]byte, error) {
+	if len(ct) < Overhead {
+		return nil, ErrTooShort
+	}
+	ephPub, err := secp256k1.ParsePublicKey(ct[:65])
+	if err != nil {
+		return nil, fmt.Errorf("ecies: ephemeral key: %w", err)
+	}
+	z, err := secp256k1.SharedSecret(priv, ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("ecies: ECDH: %w", err)
+	}
+	ke, km := deriveKeys(z, s1)
+
+	body := ct[65 : len(ct)-32]
+	tag := ct[len(ct)-32:]
+	if !hmac.Equal(tag, messageTag(km, body, s2)) {
+		return nil, ErrInvalidMAC
+	}
+
+	block, err := aes.NewCipher(ke)
+	if err != nil {
+		return nil, err
+	}
+	iv, payload := body[:aes.BlockSize], body[aes.BlockSize:]
+	out := make([]byte, len(payload))
+	cipher.NewCTR(block, iv).XORKeyStream(out, payload)
+	return out, nil
+}

@@ -1,0 +1,200 @@
+// Package keccak implements the legacy Keccak hash family used by
+// Ethereum.
+//
+// Ethereum adopted Keccak before NIST finalized SHA-3, so it uses the
+// original Keccak padding (domain byte 0x01) rather than the SHA-3
+// padding (0x06). All Ethereum identifiers that the network protocols
+// depend on — node distance keys (Keccak-256 of the node ID), block
+// and genesis hashes, RLPx MAC states — use this legacy variant.
+//
+// The implementation is a straightforward sponge over Keccak-f[1600]
+// with no assembly; it favors clarity and has no dependencies beyond
+// the standard library.
+package keccak
+
+import "hash"
+
+// Size256 is the byte length of a Keccak-256 digest.
+const Size256 = 32
+
+// Size512 is the byte length of a Keccak-512 digest.
+const Size512 = 64
+
+// roundConstants for Keccak-f[1600] (24 rounds).
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotation offsets for the rho step, indexed [x][y].
+var rotc = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// keccakF1600 applies the 24-round Keccak-f permutation in place.
+func keccakF1600(a *[25]uint64) {
+	var b [25]uint64
+	var c, d [5]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// rho and pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rotc[x][y])
+			}
+		}
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// digest is the sponge state implementing hash.Hash.
+type digest struct {
+	state   [25]uint64
+	buf     []byte // input not yet absorbed; len < rate
+	rate    int    // sponge rate in bytes (block size)
+	size    int    // output size in bytes
+	dsbyte  byte   // domain separation + first padding byte
+	storage [136]byte
+}
+
+// New256 returns a legacy Keccak-256 hash (Ethereum's variant, NOT
+// NIST SHA3-256).
+func New256() hash.Hash { return newDigest(136, Size256, 0x01) }
+
+// New512 returns a legacy Keccak-512 hash.
+func New512() hash.Hash { return newDigest(72, Size512, 0x01) }
+
+// NewSHA3_256 returns a NIST SHA3-256 hash (domain byte 0x06),
+// provided for comparison and tests.
+func NewSHA3_256() hash.Hash { return newDigest(136, Size256, 0x06) }
+
+func newDigest(rate, size int, dsbyte byte) *digest {
+	d := &digest{rate: rate, size: size, dsbyte: dsbyte}
+	d.buf = d.storage[:0]
+	return d
+}
+
+// Sum256 computes the legacy Keccak-256 digest of data.
+func Sum256(data []byte) [Size256]byte {
+	var out [Size256]byte
+	d := New256()
+	d.Write(data)
+	d.Sum(out[:0])
+	return out
+}
+
+// Sum512 computes the legacy Keccak-512 digest of data.
+func Sum512(data []byte) [Size512]byte {
+	var out [Size512]byte
+	d := New512()
+	d.Write(data)
+	d.Sum(out[:0])
+	return out
+}
+
+func (d *digest) Size() int { return d.size }
+
+func (d *digest) BlockSize() int { return d.rate }
+
+func (d *digest) Reset() {
+	d.state = [25]uint64{}
+	d.buf = d.storage[:0]
+}
+
+func (d *digest) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := d.rate - len(d.buf)
+		if space > len(p) {
+			space = len(p)
+		}
+		d.buf = append(d.buf, p[:space]...)
+		p = p[space:]
+		if len(d.buf) == d.rate {
+			d.absorb()
+		}
+	}
+	return n, nil
+}
+
+// absorb XORs a full rate-sized block into the state and permutes.
+func (d *digest) absorb() {
+	for i := 0; i < d.rate/8; i++ {
+		d.state[i] ^= le64(d.buf[i*8:])
+	}
+	keccakF1600(&d.state)
+	d.buf = d.storage[:0]
+}
+
+// Sum appends the digest to b without disturbing the running state.
+func (d *digest) Sum(b []byte) []byte {
+	dup := *d
+	dup.buf = dup.storage[:len(d.buf)]
+	copy(dup.buf, d.buf)
+	return dup.finalize(b)
+}
+
+func (d *digest) finalize(b []byte) []byte {
+	// Pad: dsbyte, zeros, final 0x80 (multi-rate padding pad10*1).
+	d.buf = append(d.buf, d.dsbyte)
+	for len(d.buf) < d.rate {
+		d.buf = append(d.buf, 0)
+	}
+	d.buf[d.rate-1] |= 0x80
+	d.absorb()
+
+	// Squeeze.
+	out := make([]byte, d.size)
+	n := 0
+	for n < d.size {
+		chunk := d.rate
+		if d.size-n < chunk {
+			chunk = d.size - n
+		}
+		for i := 0; i < (chunk+7)/8; i++ {
+			putLE64(out[n+i*8:], d.state[i])
+		}
+		n += chunk
+		if n < d.size {
+			keccakF1600(&d.state)
+		}
+	}
+	return append(b, out...)
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8 && i < len(b); i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}

@@ -1,0 +1,181 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer tests. The legacy (pre-NIST) Keccak vectors are the
+// ones Ethereum depends on; e.g. Keccak-256("") is the well-known
+// empty hash that appears throughout the Ethereum state trie.
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestKeccak256KAT(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+		{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+		{"hello", "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"},
+		{"The quick brown fox jumps over the lazy dog",
+			"4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"},
+	}
+	for _, test := range tests {
+		got := Sum256([]byte(test.in))
+		if hex.EncodeToString(got[:]) != test.want {
+			t.Errorf("Keccak256(%q) = %x, want %s", test.in, got, test.want)
+		}
+	}
+}
+
+func TestKeccak512KAT(t *testing.T) {
+	got := Sum512(nil)
+	want := "0eab42de4c3ceb9235fc91acffe746b29c29a8c366b7c60e4e67c466f36a4304" +
+		"c00fa9caf9d87976ba469bcbe06713b435f091ef2769fb160cdab33d3670680e"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("Keccak512(\"\") = %x, want %s", got, want)
+	}
+}
+
+func TestSHA3Variant(t *testing.T) {
+	// The NIST SHA-3 padding must give different results; this guards
+	// against accidentally using the wrong domain byte for Ethereum.
+	tests := []struct{ in, want string }{
+		{"", "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+		{"abc", "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+	}
+	for _, test := range tests {
+		h := NewSHA3_256()
+		h.Write([]byte(test.in))
+		got := h.Sum(nil)
+		if hex.EncodeToString(got) != test.want {
+			t.Errorf("SHA3-256(%q) = %x, want %s", test.in, got, test.want)
+		}
+	}
+	if Sum256(nil) == [32]byte(fromHex32(t, "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a")) {
+		t.Error("legacy Keccak must differ from SHA3")
+	}
+}
+
+func fromHex32(t *testing.T, s string) (out [32]byte) {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 32 {
+		t.Fatalf("bad hex %q", s)
+	}
+	copy(out[:], b)
+	return out
+}
+
+func TestIncrementalWrite(t *testing.T) {
+	// Writing in arbitrary chunk sizes must match a single write.
+	data := make([]byte, 1000)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	want := Sum256(data)
+
+	for _, chunk := range []int{1, 3, 7, 64, 135, 136, 137, 999} {
+		h := New256()
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			h.Write(data[i:end])
+		}
+		if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Errorf("chunk %d: got %x, want %x", chunk, got, want)
+		}
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	h := New256()
+	h.Write([]byte("part one"))
+	mid := h.Sum(nil)
+	mid2 := h.Sum(nil)
+	if !bytes.Equal(mid, mid2) {
+		t.Error("repeated Sum differs")
+	}
+	h.Write([]byte(" part two"))
+	final := h.Sum(nil)
+	want := Sum256([]byte("part one part two"))
+	if !bytes.Equal(final, want[:]) {
+		t.Errorf("state disturbed by Sum: got %x, want %x", final, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New256()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum(nil)
+	want := Sum256([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Errorf("Reset did not clear state")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if New256().Size() != 32 || New256().BlockSize() != 136 {
+		t.Error("bad 256 sizes")
+	}
+	if New512().Size() != 64 || New512().BlockSize() != 72 {
+		t.Error("bad 512 sizes")
+	}
+}
+
+// Property: hashing is deterministic and collision-free on distinct
+// short inputs (sanity, not a cryptographic claim).
+func TestQuickDeterminism(t *testing.T) {
+	f := func(b []byte) bool {
+		return Sum256(b) == Sum256(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single flipped bit changes the digest.
+func TestQuickBitFlipChangesDigest(t *testing.T) {
+	f := func(b []byte, pos uint) bool {
+		if len(b) == 0 {
+			return true
+		}
+		orig := Sum256(b)
+		i := int(pos % uint(len(b)))
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 1 << (pos % 8)
+		return Sum256(mut) != orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKeccak256_136(b *testing.B) {
+	data := make([]byte, 136)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkKeccak256_4K(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

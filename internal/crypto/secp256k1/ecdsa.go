@@ -1,0 +1,154 @@
+package secp256k1
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// SignatureLength is the byte length of a recoverable signature:
+// 32-byte R, 32-byte S, 1-byte recovery id.
+const SignatureLength = 65
+
+// Sign produces a recoverable ECDSA signature of a 32-byte message
+// hash. The result is r || s || v where v ∈ {0, 1} identifies which
+// of the two candidate public keys is the signer's — the format RLPx
+// discovery packets carry. S is canonicalized to the lower half of
+// the group order so signatures are unique.
+func Sign(priv *PrivateKey, hash []byte) ([]byte, error) {
+	if len(hash) != 32 {
+		return nil, fmt.Errorf("secp256k1: hash must be 32 bytes, got %d", len(hash))
+	}
+	z := hashToInt(hash)
+	for attempt := 0; attempt < 100; attempt++ {
+		k := rfc6979Nonce(priv, hash, attempt)
+		rp := ScalarBaseMult(k)
+		r := new(big.Int).Mod(rp.X, N)
+		if r.Sign() == 0 {
+			continue
+		}
+		// s = k⁻¹ (z + r·d) mod N
+		kinv := new(big.Int).ModInverse(k, N)
+		s := new(big.Int).Mul(r, priv.D)
+		s.Add(s, z)
+		s.Mul(s, kinv)
+		s.Mod(s, N)
+		if s.Sign() == 0 {
+			continue
+		}
+		// Recovery id: bit 0 is the parity of R.y, bit 1 set if
+		// R.x >= N (astronomically rare).
+		v := byte(rp.Y.Bit(0))
+		if rp.X.Cmp(N) >= 0 {
+			v |= 2
+		}
+		// Enforce low-S; flipping s negates the parity bit.
+		if s.Cmp(halfN) > 0 {
+			s.Sub(N, s)
+			v ^= 1
+		}
+		sig := make([]byte, SignatureLength)
+		r.FillBytes(sig[:32])
+		s.FillBytes(sig[32:64])
+		sig[64] = v
+		return sig, nil
+	}
+	return nil, errors.New("secp256k1: could not produce signature")
+}
+
+// Verify checks a 64- or 65-byte signature (recovery id ignored)
+// against a 32-byte hash and public key.
+func Verify(pub *PublicKey, hash, sig []byte) bool {
+	if len(hash) != 32 || (len(sig) != 64 && len(sig) != 65) {
+		return false
+	}
+	r := new(big.Int).SetBytes(sig[:32])
+	s := new(big.Int).SetBytes(sig[32:64])
+	if r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(N) >= 0 || s.Cmp(N) >= 0 {
+		return false
+	}
+	z := hashToInt(hash)
+	w := new(big.Int).ModInverse(s, N)
+	u1 := new(big.Int).Mul(z, w)
+	u1.Mod(u1, N)
+	u2 := new(big.Int).Mul(r, w)
+	u2.Mod(u2, N)
+	p := Add(ScalarBaseMult(u1), ScalarMult(&pub.Point, u2))
+	if p.IsInfinity() {
+		return false
+	}
+	return new(big.Int).Mod(p.X, N).Cmp(r) == 0
+}
+
+// RecoverPubkey returns the public key that produced the given
+// recoverable signature over hash. sig is r || s || v.
+func RecoverPubkey(hash, sig []byte) (*PublicKey, error) {
+	if len(hash) != 32 {
+		return nil, fmt.Errorf("secp256k1: hash must be 32 bytes, got %d", len(hash))
+	}
+	if len(sig) != SignatureLength {
+		return nil, fmt.Errorf("secp256k1: signature must be %d bytes, got %d", SignatureLength, len(sig))
+	}
+	r := new(big.Int).SetBytes(sig[:32])
+	s := new(big.Int).SetBytes(sig[32:64])
+	v := sig[64]
+	if v > 3 {
+		return nil, fmt.Errorf("secp256k1: invalid recovery id %d", v)
+	}
+	if r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(N) >= 0 || s.Cmp(N) >= 0 {
+		return nil, errors.New("secp256k1: signature values out of range")
+	}
+
+	// R.x = r (+ N if bit 1 of v set); recover R.y from the curve
+	// equation using the parity in bit 0.
+	x := new(big.Int).Set(r)
+	if v&2 != 0 {
+		x.Add(x, N)
+	}
+	if x.Cmp(P) >= 0 {
+		return nil, errors.New("secp256k1: recovery x out of field range")
+	}
+	y, err := liftX(x, v&1 == 1)
+	if err != nil {
+		return nil, err
+	}
+	rp := &Point{x, y}
+
+	// Q = r⁻¹ (s·R − z·G)
+	z := hashToInt(hash)
+	rinv := new(big.Int).ModInverse(r, N)
+	sR := ScalarMult(rp, s)
+	zG := ScalarBaseMult(z)
+	q := ScalarMult(Add(sR, Neg(zG)), rinv)
+	if q.IsInfinity() {
+		return nil, errors.New("secp256k1: recovered point at infinity")
+	}
+	pub := &PublicKey{*q}
+	if !pub.OnCurve() {
+		return nil, errors.New("secp256k1: recovered point not on curve")
+	}
+	return pub, nil
+}
+
+// liftX computes a curve point's y coordinate from x, choosing the
+// root with the requested parity.
+func liftX(x *big.Int, odd bool) (*big.Int, error) {
+	// y² = x³ + 7; P ≡ 3 (mod 4), so y = (x³+7)^((P+1)/4).
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	y2.Add(y2, B)
+	y2.Mod(y2, P)
+	exp := new(big.Int).Add(P, big.NewInt(1))
+	exp.Rsh(exp, 2)
+	y := new(big.Int).Exp(y2, exp, P)
+	// Check that it is actually a square root.
+	check := new(big.Int).Mul(y, y)
+	check.Mod(check, P)
+	if check.Cmp(y2) != 0 {
+		return nil, errors.New("secp256k1: x is not on the curve")
+	}
+	if (y.Bit(0) == 1) != odd {
+		y.Sub(P, y)
+	}
+	return y, nil
+}

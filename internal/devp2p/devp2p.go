@@ -1,0 +1,270 @@
+// Package devp2p implements the DEVp2p application-session layer that
+// runs on top of an RLPx connection (§2.2 of the paper).
+//
+// After the RLPx handshake, each side sends a HELLO message carrying
+// its node ID, DEVp2p version, client name, supported subprotocol
+// capabilities, and listening port. Subprotocol messages are then
+// multiplexed above the base protocol using per-capability message
+// code offsets. Idle connections exchange DEVp2p PING/PONG, and
+// sessions end with a DISCONNECT that may carry one of the reason
+// codes tabulated in the paper's Table 1.
+package devp2p
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/enode"
+	"repro/internal/rlp"
+)
+
+// Base protocol message codes.
+const (
+	HelloMsg uint64 = 0x00
+	DiscMsg  uint64 = 0x01
+	PingMsg  uint64 = 0x02
+	PongMsg  uint64 = 0x03
+	// BaseProtocolLength is the size of the reserved base message
+	// space; subprotocol codes start here.
+	BaseProtocolLength uint64 = 16
+)
+
+// Version is the DEVp2p base protocol version advertised in HELLO.
+// Clients of the paper's era advertise 5, which implies snappy
+// compression of message payloads after the HELLO exchange; the rlpx
+// package implements it (Conn.SetSnappy) and both the crawler and
+// ethnode enable it when negotiated.
+const Version = 5
+
+// DisconnectReason is the reason code in a DISCONNECT message.
+type DisconnectReason uint64
+
+// The reason codes of Table 1.
+const (
+	DiscRequested           DisconnectReason = 0x00
+	DiscNetworkError        DisconnectReason = 0x01
+	DiscProtocolError       DisconnectReason = 0x02
+	DiscUselessPeer         DisconnectReason = 0x03
+	DiscTooManyPeers        DisconnectReason = 0x04
+	DiscAlreadyConnected    DisconnectReason = 0x05
+	DiscIncompatibleVersion DisconnectReason = 0x06
+	DiscInvalidIdentity     DisconnectReason = 0x07
+	DiscQuitting            DisconnectReason = 0x08
+	DiscUnexpectedIdentity  DisconnectReason = 0x09
+	DiscSelf                DisconnectReason = 0x0a
+	DiscReadTimeout         DisconnectReason = 0x0b
+	DiscSubprotocolError    DisconnectReason = 0x10
+)
+
+var reasonNames = map[DisconnectReason]string{
+	DiscRequested:           "Disconnect requested",
+	DiscNetworkError:        "Network error",
+	DiscProtocolError:       "Breach of protocol",
+	DiscUselessPeer:         "Useless peer",
+	DiscTooManyPeers:        "Too many peers",
+	DiscAlreadyConnected:    "Already connected",
+	DiscIncompatibleVersion: "Incompatible P2P protocol version",
+	DiscInvalidIdentity:     "Invalid node identity",
+	DiscQuitting:            "Client quitting",
+	DiscUnexpectedIdentity:  "Unexpected identity",
+	DiscSelf:                "Connected to self",
+	DiscReadTimeout:         "Read timeout",
+	DiscSubprotocolError:    "Subprotocol error",
+}
+
+// String implements fmt.Stringer; unknown codes print numerically,
+// mirroring how Parity treats codes beyond 0x0b as "Unknown" (§3).
+func (r DisconnectReason) String() string {
+	if s, ok := reasonNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Unknown(0x%02x)", uint64(r))
+}
+
+// Error makes a DisconnectReason usable as an error value.
+func (r DisconnectReason) Error() string { return r.String() }
+
+// Cap is one advertised capability: a subprotocol name and version.
+type Cap struct {
+	Name    string
+	Version uint
+}
+
+// String renders the conventional name/version form, e.g. "eth/63".
+func (c Cap) String() string { return fmt.Sprintf("%s/%d", c.Name, c.Version) }
+
+// Hello is the DEVp2p handshake message.
+type Hello struct {
+	Version    uint64
+	Name       string // client identifier, e.g. "Geth/v1.7.3-stable/linux-amd64/go1.9"
+	Caps       []Cap
+	ListenPort uint64
+	ID         enode.ID
+	// Rest absorbs additional fields from future versions.
+	Rest []rlp.RawValue `rlp:"tail"`
+}
+
+// MsgReadWriter is the framed-message transport devp2p runs over;
+// *rlpx.Conn implements it.
+type MsgReadWriter interface {
+	ReadMsg() (code uint64, payload []byte, err error)
+	WriteMsg(code uint64, payload []byte) error
+}
+
+// Errors.
+var (
+	ErrUnexpectedMessage = errors.New("devp2p: unexpected message before hello")
+	ErrNoCommonProtocol  = errors.New("devp2p: no matching subprotocols")
+)
+
+// DisconnectError wraps the reason a peer gave for disconnecting.
+type DisconnectError struct{ Reason DisconnectReason }
+
+func (e DisconnectError) Error() string {
+	return fmt.Sprintf("devp2p: peer disconnected: %s", e.Reason)
+}
+
+// SendHello writes our HELLO message.
+func SendHello(rw MsgReadWriter, h *Hello) error {
+	payload, err := rlp.EncodeToBytes(h)
+	if err != nil {
+		return fmt.Errorf("devp2p: encoding hello: %w", err)
+	}
+	return rw.WriteMsg(HelloMsg, payload)
+}
+
+// ReadHello reads the peer's HELLO, tolerating a DISCONNECT in its
+// place (returned as DisconnectError — the common "Too many peers"
+// case the paper's scanner must classify).
+func ReadHello(rw MsgReadWriter) (*Hello, error) {
+	code, payload, err := rw.ReadMsg()
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case HelloMsg:
+		var h Hello
+		if err := rlp.DecodeBytes(payload, &h); err != nil {
+			return nil, fmt.Errorf("devp2p: decoding hello: %w", err)
+		}
+		return &h, nil
+	case DiscMsg:
+		return nil, DisconnectError{DecodeDisconnect(payload)}
+	default:
+		return nil, fmt.Errorf("%w: code %#x", ErrUnexpectedMessage, code)
+	}
+}
+
+// ExchangeHello sends ours and reads theirs concurrently-safely over
+// a full-duplex transport (write first, then read).
+func ExchangeHello(rw MsgReadWriter, ours *Hello) (*Hello, error) {
+	if err := SendHello(rw, ours); err != nil {
+		return nil, err
+	}
+	return ReadHello(rw)
+}
+
+// SendDisconnect writes a DISCONNECT with the given reason.
+func SendDisconnect(rw MsgReadWriter, reason DisconnectReason) error {
+	payload, err := rlp.EncodeToBytes([]uint64{uint64(reason)})
+	if err != nil {
+		return err
+	}
+	return rw.WriteMsg(DiscMsg, payload)
+}
+
+// DecodeDisconnect parses a DISCONNECT payload, accepting both the
+// spec's list form [reason] and the bare-integer form some clients
+// emit, and an empty payload (reason 0).
+func DecodeDisconnect(payload []byte) DisconnectReason {
+	if len(payload) == 0 {
+		return DiscRequested
+	}
+	var list []uint64
+	if err := rlp.DecodeBytes(payload, &list); err == nil {
+		if len(list) == 0 {
+			return DiscRequested
+		}
+		return DisconnectReason(list[0])
+	}
+	var bare uint64
+	if err := rlp.DecodeBytes(payload, &bare); err == nil {
+		return DisconnectReason(bare)
+	}
+	return DiscRequested
+}
+
+// SendPing / SendPong implement the base keepalive.
+func SendPing(rw MsgReadWriter) error { return rw.WriteMsg(PingMsg, []byte{0xC0}) }
+
+// SendPong answers a ping.
+func SendPong(rw MsgReadWriter) error { return rw.WriteMsg(PongMsg, []byte{0xC0}) }
+
+// MatchCaps computes the shared capabilities and their message-code
+// offsets. Both sides sort shared caps by name (then version) and
+// stack their message spaces above the base protocol, so equal HELLOs
+// yield equal offsets on both ends. For equal names the highest
+// shared version wins.
+func MatchCaps(ours, theirs []Cap, lengths map[string]uint64) []NegotiatedCap {
+	// Highest mutual version per name.
+	best := map[string]uint{}
+	for _, oc := range ours {
+		for _, tc := range theirs {
+			if oc.Name == tc.Name && oc.Version == tc.Version {
+				if v, ok := best[oc.Name]; !ok || oc.Version > v {
+					best[oc.Name] = oc.Version
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(best))
+	for name := range best {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []NegotiatedCap
+	offset := BaseProtocolLength
+	for _, name := range names {
+		length := lengths[name]
+		if length == 0 {
+			length = 16 // conservative default message space
+		}
+		out = append(out, NegotiatedCap{
+			Cap:    Cap{Name: name, Version: best[name]},
+			Offset: offset,
+			Length: length,
+		})
+		offset += length
+	}
+	return out
+}
+
+// NegotiatedCap is a shared capability with its assigned code space.
+type NegotiatedCap struct {
+	Cap
+	Offset uint64 // first message code
+	Length uint64 // number of codes reserved
+}
+
+// HasCap reports whether caps contains name at any version.
+func HasCap(caps []Cap, name string) bool {
+	for _, c := range caps {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CapVersion returns the highest advertised version of name, or 0.
+func CapVersion(caps []Cap, name string) uint {
+	var v uint
+	for _, c := range caps {
+		if c.Name == name && c.Version > v {
+			v = c.Version
+		}
+	}
+	return v
+}

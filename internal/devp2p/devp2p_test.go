@@ -1,0 +1,222 @@
+package devp2p
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/enode"
+	"repro/internal/rlp"
+)
+
+// pipeRW is an in-memory MsgReadWriter pair.
+type pipeRW struct {
+	in  chan msg
+	out chan msg
+}
+
+type msg struct {
+	code    uint64
+	payload []byte
+}
+
+func newPipeRW() (*pipeRW, *pipeRW) {
+	a := make(chan msg, 16)
+	b := make(chan msg, 16)
+	return &pipeRW{in: a, out: b}, &pipeRW{in: b, out: a}
+}
+
+func (p *pipeRW) ReadMsg() (uint64, []byte, error) {
+	m, ok := <-p.in
+	if !ok {
+		return 0, nil, errors.New("closed")
+	}
+	return m.code, m.payload, nil
+}
+
+func (p *pipeRW) WriteMsg(code uint64, payload []byte) error {
+	p.out <- msg{code, payload}
+	return nil
+}
+
+func testHello(seed int64) *Hello {
+	rng := rand.New(rand.NewSource(seed))
+	return &Hello{
+		Version:    Version,
+		Name:       "Geth/v1.7.3-stable/linux-amd64/go1.9",
+		Caps:       []Cap{{"eth", 62}, {"eth", 63}},
+		ListenPort: 30303,
+		ID:         enode.RandomID(rng),
+	}
+}
+
+func TestHelloExchange(t *testing.T) {
+	a, b := newPipeRW()
+	ha, hb := testHello(1), testHello(2)
+
+	done := make(chan error, 1)
+	var theirsAtB *Hello
+	go func() {
+		var err error
+		theirsAtB, err = ExchangeHello(b, hb)
+		done <- err
+	}()
+	theirsAtA, err := ExchangeHello(a, ha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if theirsAtA.Name != hb.Name || theirsAtA.ID != hb.ID {
+		t.Errorf("A saw %+v", theirsAtA)
+	}
+	if theirsAtB.ListenPort != 30303 || len(theirsAtB.Caps) != 2 {
+		t.Errorf("B saw %+v", theirsAtB)
+	}
+}
+
+func TestHelloMetDisconnect(t *testing.T) {
+	a, b := newPipeRW()
+	go SendDisconnect(b, DiscTooManyPeers) //nolint:errcheck
+	_, err := ReadHello(a)
+	var de DisconnectError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %v", err)
+	}
+	if de.Reason != DiscTooManyPeers {
+		t.Errorf("reason %v", de.Reason)
+	}
+}
+
+func TestReadHelloRejectsOtherMessage(t *testing.T) {
+	a, b := newPipeRW()
+	go b.WriteMsg(PingMsg, []byte{0xC0}) //nolint:errcheck
+	if _, err := ReadHello(a); !errors.Is(err, ErrUnexpectedMessage) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDecodeDisconnectForms(t *testing.T) {
+	// List form.
+	p1, _ := rlp.EncodeToBytes([]uint64{uint64(DiscUselessPeer)})
+	if r := DecodeDisconnect(p1); r != DiscUselessPeer {
+		t.Errorf("list form: %v", r)
+	}
+	// Bare integer form.
+	p2, _ := rlp.EncodeToBytes(uint64(DiscSubprotocolError))
+	if r := DecodeDisconnect(p2); r != DiscSubprotocolError {
+		t.Errorf("bare form: %v", r)
+	}
+	// Empty.
+	if r := DecodeDisconnect(nil); r != DiscRequested {
+		t.Errorf("empty: %v", r)
+	}
+	// Garbage degrades to requested.
+	if r := DecodeDisconnect([]byte{0xFF, 0xFF}); r != DiscRequested {
+		t.Errorf("garbage: %v", r)
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	if DiscTooManyPeers.String() != "Too many peers" {
+		t.Error(DiscTooManyPeers.String())
+	}
+	if DiscSubprotocolError.String() != "Subprotocol error" {
+		t.Error(DiscSubprotocolError.String())
+	}
+	if got := DisconnectReason(0x42).String(); got != "Unknown(0x42)" {
+		t.Error(got)
+	}
+	if DiscTooManyPeers.Error() == "" {
+		t.Error("empty error")
+	}
+}
+
+func TestMatchCaps(t *testing.T) {
+	ours := []Cap{{"eth", 62}, {"eth", 63}, {"shh", 2}, {"bzz", 1}}
+	theirs := []Cap{{"eth", 63}, {"les", 2}, {"shh", 2}}
+	lengths := map[string]uint64{"eth": 17, "shh": 300}
+	got := MatchCaps(ours, theirs, lengths)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	// Alphabetical: eth before shh.
+	if got[0].Name != "eth" || got[0].Version != 63 || got[0].Offset != BaseProtocolLength || got[0].Length != 17 {
+		t.Errorf("eth: %+v", got[0])
+	}
+	if got[1].Name != "shh" || got[1].Offset != BaseProtocolLength+17 {
+		t.Errorf("shh: %+v", got[1])
+	}
+}
+
+func TestMatchCapsHighestVersion(t *testing.T) {
+	ours := []Cap{{"eth", 62}, {"eth", 63}}
+	theirs := []Cap{{"eth", 62}, {"eth", 63}}
+	got := MatchCaps(ours, theirs, nil)
+	if len(got) != 1 || got[0].Version != 63 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMatchCapsNone(t *testing.T) {
+	if got := MatchCaps([]Cap{{"eth", 63}}, []Cap{{"exp", 1}}, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCapHelpers(t *testing.T) {
+	caps := []Cap{{"eth", 62}, {"eth", 63}, {"les", 2}}
+	if !HasCap(caps, "eth") || HasCap(caps, "bzz") {
+		t.Error("HasCap wrong")
+	}
+	if CapVersion(caps, "eth") != 63 || CapVersion(caps, "pip") != 0 {
+		t.Error("CapVersion wrong")
+	}
+	if (Cap{"eth", 63}).String() != "eth/63" {
+		t.Error("Cap.String wrong")
+	}
+}
+
+func TestPingPongHelpers(t *testing.T) {
+	a, b := newPipeRW()
+	if err := SendPing(a); err != nil {
+		t.Fatal(err)
+	}
+	code, _, err := b.ReadMsg()
+	if err != nil || code != PingMsg {
+		t.Fatal(code, err)
+	}
+	if err := SendPong(b); err != nil {
+		t.Fatal(err)
+	}
+	code, _, err = a.ReadMsg()
+	if err != nil || code != PongMsg {
+		t.Fatal(code, err)
+	}
+}
+
+func TestHelloRLPForwardCompat(t *testing.T) {
+	// A HELLO with extra fields (from a future client) must decode.
+	type futureHello struct {
+		Version    uint64
+		Name       string
+		Caps       []Cap
+		ListenPort uint64
+		ID         enode.ID
+		Extra1     uint64
+		Extra2     []byte
+	}
+	fh := futureHello{Version: 6, Name: "Future/v9", ListenPort: 1, ID: enode.RandomID(rand.New(rand.NewSource(3))), Extra1: 7, Extra2: []byte("x")}
+	enc, err := rlp.EncodeToBytes(&fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Hello
+	if err := rlp.DecodeBytes(enc, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "Future/v9" || len(h.Rest) != 2 {
+		t.Errorf("got %+v", h)
+	}
+}

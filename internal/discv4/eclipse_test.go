@@ -1,0 +1,116 @@
+package discv4
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/enode"
+)
+
+// The §6.3 scenario: a Geth node whose lookup is answered from
+// Parity-metric tables converges worse than one answered from
+// Geth-metric tables — the paper's "unintentional eclipse". This test
+// quantifies that effect offline: it simulates the iterative lookup
+// using table-backed FIND_NODE answers without sockets.
+
+// simulatedLookup walks an iterative lookup where each queried node
+// answers from its own routing table (built with the given metric).
+// It returns the best (smallest) true log-distance to the target
+// reached after the given number of rounds.
+func simulatedLookup(t *testing.T, metric DistanceFunc, rounds int, seed int64) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	now := time.Now()
+
+	// A 600-node network where every node's table is built with the
+	// SAME metric (all-Geth or all-Parity world).
+	nodes := make([]*enode.Node, 600)
+	for i := range nodes {
+		nodes[i] = randomNode(rng)
+	}
+	tables := make(map[enode.ID]*Table, len(nodes))
+	for _, n := range nodes {
+		tab := NewTable(n.ID, metric, seed)
+		// Each node knows a random subset of the network.
+		for j := 0; j < 120; j++ {
+			tab.AddSeenNode(nodes[rng.Intn(len(nodes))], now)
+		}
+		tables[n.ID] = tab
+	}
+
+	target := enode.RandomID(rng)
+	targetHash := target.Hash()
+
+	// The querying node starts from 3 random entry points and always
+	// evaluates candidates with the CORRECT (Geth) metric, as a Geth
+	// node would.
+	asked := map[enode.ID]bool{}
+	frontier := []*enode.Node{nodes[0], nodes[1], nodes[2]}
+	best := 257
+	for r := 0; r < rounds; r++ {
+		var next []*enode.Node
+		for _, n := range frontier {
+			if asked[n.ID] {
+				continue
+			}
+			asked[n.ID] = true
+			tab := tables[n.ID]
+			if tab == nil {
+				continue
+			}
+			// The queried node answers with ITS OWN metric's idea of
+			// "closest" — this is where the Parity bug bites.
+			next = append(next, tab.Closest(target, BucketSize)...)
+		}
+		for _, n := range next {
+			if d := enode.LogDist(n.ID.Hash(), targetHash); d < best {
+				best = d
+			}
+		}
+		// Keep the α closest unasked candidates (by the true metric).
+		frontier = pickClosest(next, targetHash, LookupAlpha, asked)
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return best
+}
+
+func pickClosest(nodes []*enode.Node, targetHash [32]byte, k int, asked map[enode.ID]bool) []*enode.Node {
+	var out []*enode.Node
+	for _, n := range nodes {
+		if !asked[n.ID] {
+			out = append(out, n)
+		}
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if enode.LogDist(out[j].ID.Hash(), targetHash) < enode.LogDist(out[i].ID.Hash(), targetHash) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestParityTablesDegradeLookups(t *testing.T) {
+	// Average converged distance over several seeds.
+	const trials = 5
+	var gethSum, paritySum int
+	for s := int64(0); s < trials; s++ {
+		gethSum += simulatedLookup(t, enode.LogDist, 6, 100+s)
+		paritySum += simulatedLookup(t, enode.ParityLogDist, 6, 100+s)
+	}
+	gethAvg := float64(gethSum) / trials
+	parityAvg := float64(paritySum) / trials
+	t.Logf("converged log-distance: geth-metric tables %.1f, parity-metric tables %.1f", gethAvg, parityAvg)
+	// Parity-metric answers must be no better, and typically worse:
+	// they do not help a correct lookup converge.
+	if parityAvg < gethAvg {
+		t.Errorf("parity tables converged better (%.1f) than geth tables (%.1f)?", parityAvg, gethAvg)
+	}
+}

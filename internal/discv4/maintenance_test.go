@@ -1,0 +1,126 @@
+package discv4
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/enode"
+)
+
+func TestLastInRandomBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := NewTable(enode.RandomID(rng), nil, 1)
+	if tab.LastInRandomBucket(rng) != nil {
+		t.Fatal("empty table returned a node")
+	}
+	var added []*enode.Node
+	for i := 0; i < 30; i++ {
+		n := randomNode(rng)
+		tab.AddSeenNode(n, time.Now())
+		added = append(added, n)
+	}
+	got := tab.LastInRandomBucket(rng)
+	if got == nil {
+		t.Fatal("nil from populated table")
+	}
+	found := false
+	for _, n := range added {
+		if n.ID == got.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("returned node not in table")
+	}
+}
+
+func TestRevalidationEvictsDeadNode(t *testing.T) {
+	// a revalidates; its table holds one live node and one dead one.
+	key := testKey(t, 60)
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Listen(UDPConn{conn}, Config{
+		Key:                key,
+		AnnounceTCP:        30303,
+		RespTimeout:        150 * time.Millisecond,
+		RevalidateInterval: 100 * time.Millisecond,
+		Seed:               60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	_, liveNode := newLoopbackTransport(t, 61, nil)
+	deadNode := enode.New(enode.RandomID(rand.New(rand.NewSource(62))), net.IPv4(127, 0, 0, 1), 9, 9)
+	a.table.AddSeenNode(liveNode, time.Now())
+	a.table.AddSeenNode(deadNode, time.Now())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if !a.table.Contains(deadNode.ID) {
+			if !a.table.Contains(liveNode.ID) {
+				t.Fatal("live node was evicted too")
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("dead node never evicted by revalidation")
+}
+
+func TestRefreshLoopPopulatesTable(t *testing.T) {
+	// A bootstrap plus members; a fresh transport with refresh
+	// enabled should learn members without anyone calling Lookup
+	// explicitly.
+	boot, bootNode := newLoopbackTransport(t, 70, nil)
+	_ = boot
+	var members []*enode.Node
+	for i := 0; i < 4; i++ {
+		m, n := newLoopbackTransport(t, 71+int64(i), []*enode.Node{bootNode})
+		if err := m.Ping(bootNode); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, n)
+	}
+
+	key := testKey(t, 80)
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Listen(UDPConn{conn}, Config{
+		Key:             key,
+		AnnounceTCP:     30303,
+		Bootnodes:       []*enode.Node{bootNode},
+		RespTimeout:     300 * time.Millisecond,
+		RefreshInterval: 200 * time.Millisecond,
+		Seed:            80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.Ping(bootNode); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		learned := 0
+		for _, m := range members {
+			if fresh.Table().Contains(m.ID) {
+				learned++
+			}
+		}
+		if learned >= 2 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("refresh loop never discovered members")
+}

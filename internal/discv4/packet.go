@@ -1,0 +1,206 @@
+// Package discv4 implements RLPx node discovery (discovery protocol
+// v4), the UDP layer of Ethereum's network stack.
+//
+// Discovery is a Kademlia variant with five differences from the
+// original DHT, all reproduced here as the paper describes (§2.1):
+// no data storage, 512-bit node IDs, IDs doubling as public keys,
+// XOR distance computed over the Keccak-256 hash of the ID, and a
+// log2 distance metric yielding 257 distinct buckets.
+//
+// Wire format of every packet:
+//
+//	hash(32) || signature(65) || packet-type(1) || RLP payload
+//
+// where hash = Keccak256(signature || type || payload) and the
+// signature is a recoverable secp256k1 signature over
+// Keccak256(type || payload). The sender's node ID is recovered from
+// the signature, so packets are self-authenticating.
+package discv4
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/crypto/keccak"
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/enode"
+	"repro/internal/rlp"
+)
+
+// Packet type codes.
+const (
+	PingPacket byte = iota + 1
+	PongPacket
+	FindnodePacket
+	NeighborsPacket
+)
+
+// Version is the discovery protocol version carried in ping packets.
+const Version = 4
+
+const (
+	macSize  = 32
+	sigSize  = secp256k1.SignatureLength
+	headSize = macSize + sigSize
+)
+
+// Wire layer errors.
+var (
+	ErrPacketTooSmall = errors.New("discv4: packet too small")
+	ErrBadHash        = errors.New("discv4: bad packet hash")
+	ErrExpired        = errors.New("discv4: packet expired")
+	ErrBadSignature   = errors.New("discv4: invalid signature")
+	ErrUnknownPacket  = errors.New("discv4: unknown packet type")
+)
+
+// Endpoint is the RLP node endpoint structure: IP plus both ports.
+type Endpoint struct {
+	IP  net.IP
+	UDP uint16
+	TCP uint16
+}
+
+// NewEndpoint builds an Endpoint from a UDP address and TCP port.
+func NewEndpoint(addr *net.UDPAddr, tcpPort uint16) Endpoint {
+	ip := addr.IP.To4()
+	if ip == nil {
+		ip = addr.IP
+	}
+	return Endpoint{IP: ip, UDP: uint16(addr.Port), TCP: tcpPort}
+}
+
+// Ping is the liveness probe. Expiration is an absolute Unix time
+// after which receivers drop the packet.
+type Ping struct {
+	Version    uint
+	From, To   Endpoint
+	Expiration uint64
+	Rest       []rlp.RawValue `rlp:"tail"` // forward compatibility
+}
+
+// Pong answers a ping; ReplyTok echoes the ping's packet hash.
+type Pong struct {
+	To         Endpoint
+	ReplyTok   []byte
+	Expiration uint64
+	Rest       []rlp.RawValue `rlp:"tail"`
+}
+
+// Findnode asks for the k closest nodes to Target.
+type Findnode struct {
+	Target     enode.ID
+	Expiration uint64
+	Rest       []rlp.RawValue `rlp:"tail"`
+}
+
+// Neighbors carries the response node list.
+type Neighbors struct {
+	Nodes      []RPCNode
+	Expiration uint64
+	Rest       []rlp.RawValue `rlp:"tail"`
+}
+
+// RPCNode is the node record as transmitted in neighbors packets.
+type RPCNode struct {
+	IP  net.IP
+	UDP uint16
+	TCP uint16
+	ID  enode.ID
+}
+
+// Node converts an RPCNode to an enode.Node.
+func (r RPCNode) Node() *enode.Node {
+	return enode.New(r.ID, r.IP, r.UDP, r.TCP)
+}
+
+// RPCNodeFrom converts an enode.Node to its wire form.
+func RPCNodeFrom(n *enode.Node) RPCNode {
+	return RPCNode{IP: n.IP, UDP: n.UDP, TCP: n.TCP, ID: n.ID}
+}
+
+// packetTypeOf returns the type byte for a payload struct.
+func packetTypeOf(pkt any) (byte, error) {
+	switch pkt.(type) {
+	case *Ping:
+		return PingPacket, nil
+	case *Pong:
+		return PongPacket, nil
+	case *Findnode:
+		return FindnodePacket, nil
+	case *Neighbors:
+		return NeighborsPacket, nil
+	default:
+		return 0, fmt.Errorf("discv4: cannot encode %T", pkt)
+	}
+}
+
+// EncodePacket signs and frames a discovery packet. It returns the
+// full datagram and the packet hash (used as the pong reply token).
+func EncodePacket(priv *secp256k1.PrivateKey, pkt any) (datagram, hash []byte, err error) {
+	ptype, err := packetTypeOf(pkt)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := rlp.EncodeToBytes(pkt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("discv4: encoding payload: %w", err)
+	}
+	b := make([]byte, headSize+1, headSize+1+len(payload))
+	b[headSize] = ptype
+	b = append(b, payload...)
+
+	toSign := keccak.Sum256(b[headSize:])
+	sig, err := secp256k1.Sign(priv, toSign[:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("discv4: signing: %w", err)
+	}
+	copy(b[macSize:], sig)
+	h := keccak.Sum256(b[macSize:])
+	copy(b, h[:])
+	return b, h[:], nil
+}
+
+// DecodePacket verifies and parses a datagram. It returns the decoded
+// payload, the sender's recovered node ID, and the packet hash.
+func DecodePacket(buf []byte) (pkt any, fromID enode.ID, hash []byte, err error) {
+	if len(buf) < headSize+1 {
+		return nil, enode.ID{}, nil, ErrPacketTooSmall
+	}
+	h := keccak.Sum256(buf[macSize:])
+	if !bytes.Equal(h[:], buf[:macSize]) {
+		return nil, enode.ID{}, nil, ErrBadHash
+	}
+	toSign := keccak.Sum256(buf[headSize:])
+	pub, err := secp256k1.RecoverPubkey(toSign[:], buf[macSize:headSize])
+	if err != nil {
+		return nil, enode.ID{}, nil, fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	fromID = enode.PubkeyID(pub)
+
+	var dec any
+	switch ptype := buf[headSize]; ptype {
+	case PingPacket:
+		dec = new(Ping)
+	case PongPacket:
+		dec = new(Pong)
+	case FindnodePacket:
+		dec = new(Findnode)
+	case NeighborsPacket:
+		dec = new(Neighbors)
+	default:
+		return nil, fromID, h[:], fmt.Errorf("%w: %d", ErrUnknownPacket, ptype)
+	}
+	s := rlp.NewStream(bytes.NewReader(buf[headSize+1:]), uint64(len(buf)-headSize-1))
+	if err := s.Decode(dec); err != nil {
+		return nil, fromID, h[:], fmt.Errorf("discv4: decoding payload: %w", err)
+	}
+	return dec, fromID, h[:], nil
+}
+
+// expired reports whether an absolute Unix timestamp is in the past.
+func expired(ts uint64, now time.Time) bool {
+	return ts < uint64(now.Unix())
+}

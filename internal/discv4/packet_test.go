@@ -1,0 +1,163 @@
+package discv4
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/keccak"
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/enode"
+)
+
+func testKey(t testing.TB, seed int64) *secp256k1.PrivateKey {
+	t.Helper()
+	k, err := secp256k1.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	k := testKey(t, 1)
+	wantID := enode.PubkeyID(&k.Pub)
+
+	ping := &Ping{
+		Version:    Version,
+		From:       Endpoint{IP: net.IPv4(10, 0, 0, 1), UDP: 30301, TCP: 30303},
+		To:         Endpoint{IP: net.IPv4(10, 0, 0, 2), UDP: 30301, TCP: 30303},
+		Expiration: uint64(time.Now().Add(20 * time.Second).Unix()),
+	}
+	dgram, hash, err := EncodePacket(k, ping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hash) != 32 {
+		t.Fatalf("hash length %d", len(hash))
+	}
+	pkt, fromID, gotHash, err := DecodePacket(dgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromID != wantID {
+		t.Error("sender ID not recovered")
+	}
+	if string(gotHash) != string(hash) {
+		t.Error("hash mismatch")
+	}
+	got, ok := pkt.(*Ping)
+	if !ok {
+		t.Fatalf("decoded %T", pkt)
+	}
+	if got.Version != Version || got.From.UDP != 30301 || !got.From.IP.Equal(ping.From.IP) {
+		t.Errorf("decoded %+v", got)
+	}
+}
+
+func TestPacketTypes(t *testing.T) {
+	k := testKey(t, 2)
+	id := enode.PubkeyID(&testKey(t, 3).Pub)
+	exp := uint64(time.Now().Add(time.Minute).Unix())
+	pkts := []any{
+		&Ping{Version: 4, Expiration: exp},
+		&Pong{ReplyTok: []byte{1, 2, 3}, Expiration: exp},
+		&Findnode{Target: id, Expiration: exp},
+		&Neighbors{Nodes: []RPCNode{{IP: net.IPv4(1, 2, 3, 4), UDP: 1, TCP: 2, ID: id}}, Expiration: exp},
+	}
+	for _, pkt := range pkts {
+		dgram, _, err := EncodePacket(k, pkt)
+		if err != nil {
+			t.Fatalf("%T: %v", pkt, err)
+		}
+		dec, _, _, err := DecodePacket(dgram)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", pkt, err)
+		}
+		if want, got := pkt, dec; want == got {
+			t.Fatal("expected distinct values")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	k := testKey(t, 4)
+	dgram, _, err := EncodePacket(k, &Ping{Version: 4, Expiration: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too small.
+	if _, _, _, err := DecodePacket(dgram[:headSize]); err != ErrPacketTooSmall {
+		t.Errorf("short: %v", err)
+	}
+	// Corrupt hash.
+	bad := append([]byte(nil), dgram...)
+	bad[0] ^= 1
+	if _, _, _, err := DecodePacket(bad); err != ErrBadHash {
+		t.Errorf("hash: %v", err)
+	}
+	// Corrupt signature (and fix hash so it passes the hash check):
+	// recoverable signatures usually still recover *some* key, so the
+	// packet must attribute to a different sender, never the original.
+	_, origID, _, err := DecodePacket(dgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad2 := append([]byte(nil), dgram...)
+	bad2[macSize+3] ^= 0xFF
+	rehash(bad2)
+	if _, badID, _, err := DecodePacket(bad2); err == nil && badID == origID {
+		t.Error("corrupt signature still attributed to original sender")
+	}
+	// Unknown packet type.
+	bad3 := append([]byte(nil), dgram...)
+	bad3[headSize] = 0x77
+	rehash(bad3)
+	if _, _, _, err := DecodePacket(bad3); err == nil {
+		t.Error("accepted unknown packet type")
+	}
+}
+
+// rehash fixes up the packet hash after mutation below it.
+func rehash(b []byte) {
+	h := keccak.Sum256(b[macSize:])
+	copy(b, h[:])
+}
+
+func TestEncodeUnknownType(t *testing.T) {
+	k := testKey(t, 5)
+	if _, _, err := EncodePacket(k, struct{}{}); err == nil {
+		t.Error("accepted unknown payload type")
+	}
+}
+
+func TestForwardCompatibleTail(t *testing.T) {
+	// Packets with extra trailing list elements (future fields) must
+	// still decode; the Rest tail absorbs them.
+	k := testKey(t, 6)
+	dgram, _, err := EncodePacket(k, &Pong{
+		ReplyTok:   []byte{9},
+		Expiration: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, _, err := DecodePacket(dgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.(*Pong).Expiration != 42 {
+		t.Error("bad decode")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	if !expired(999_999, now) {
+		t.Error("past timestamp not expired")
+	}
+	if expired(1_000_001, now) {
+		t.Error("future timestamp expired")
+	}
+}

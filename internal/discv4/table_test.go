@@ -1,0 +1,229 @@
+package discv4
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/enode"
+)
+
+func randomNode(rng *rand.Rand) *enode.Node {
+	id := enode.RandomID(rng)
+	ip := net.IPv4(byte(rng.Intn(223)+1), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(254)+1))
+	return enode.New(id, ip, 30303, 30303)
+}
+
+func TestTableAddAndContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	self := enode.RandomID(rng)
+	tab := NewTable(self, nil, 1)
+	n := randomNode(rng)
+	if !tab.AddSeenNode(n, time.Now()) {
+		t.Fatal("add failed")
+	}
+	if !tab.Contains(n.ID) {
+		t.Fatal("node missing")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len %d", tab.Len())
+	}
+	// Adding self is rejected.
+	if tab.AddSeenNode(enode.New(self, net.IPv4(1, 1, 1, 1), 1, 1), time.Now()) {
+		t.Fatal("self added")
+	}
+	// Duplicate add refreshes, does not grow.
+	tab.AddSeenNode(n, time.Now())
+	if tab.Len() != 1 {
+		t.Fatalf("len after dup %d", tab.Len())
+	}
+}
+
+func TestTableBucketOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	self := enode.RandomID(rng)
+	tab := NewTable(self, nil, 2)
+	// Generate many nodes in the SAME bucket by brute force: random
+	// nodes overwhelmingly land in high buckets, so just add lots and
+	// verify no bucket exceeds BucketSize.
+	for i := 0; i < 2000; i++ {
+		tab.AddSeenNode(randomNode(rng), time.Now())
+	}
+	load := tab.BucketLoad()
+	for i, n := range load {
+		if n > BucketSize {
+			t.Fatalf("bucket %d overflow: %d", i, n)
+		}
+	}
+	if tab.Len() == 0 {
+		t.Fatal("table empty")
+	}
+}
+
+func TestTableEvictionPolicy(t *testing.T) {
+	// Kademlia favors old nodes: a full bucket rejects new entries
+	// into the replacement cache; only repeated liveness failure of
+	// an old node lets a replacement in.
+	rng := rand.New(rand.NewSource(3))
+	self := enode.RandomID(rng)
+	tab := NewTable(self, nil, 3)
+
+	// Fill one specific bucket: find nodes with the same bucket index.
+	var target int = -1
+	var members []*enode.Node
+	for len(members) < BucketSize+1 {
+		n := randomNode(rng)
+		d := tab.bucketIndex(n.ID)
+		if target == -1 {
+			target = d
+		}
+		if d == target {
+			members = append(members, n)
+		}
+	}
+	for _, n := range members[:BucketSize] {
+		if !tab.AddSeenNode(n, time.Now()) {
+			t.Fatal("bucket filled early")
+		}
+	}
+	extra := members[BucketSize]
+	if tab.AddSeenNode(extra, time.Now()) {
+		t.Fatal("full bucket accepted new node")
+	}
+	if tab.Contains(extra.ID) {
+		t.Fatal("extra in main bucket")
+	}
+	// Fail an old node 3 times; the replacement should take its place.
+	victim := members[0]
+	for i := 0; i < 3; i++ {
+		tab.FailLiveness(victim.ID)
+	}
+	if tab.Contains(victim.ID) {
+		t.Fatal("victim still present")
+	}
+	if !tab.Contains(extra.ID) {
+		t.Fatal("replacement not promoted")
+	}
+}
+
+func TestTableClosestOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	self := enode.RandomID(rng)
+	tab := NewTable(self, nil, 4)
+	for i := 0; i < 200; i++ {
+		tab.AddSeenNode(randomNode(rng), time.Now())
+	}
+	target := enode.RandomID(rng)
+	th := target.Hash()
+	closest := tab.Closest(target, 16)
+	if len(closest) == 0 {
+		t.Fatal("no nodes")
+	}
+	for i := 1; i < len(closest); i++ {
+		if enode.LogDist(closest[i-1].ID.Hash(), th) > enode.LogDist(closest[i].ID.Hash(), th) {
+			t.Fatal("closest not sorted by distance")
+		}
+	}
+	// Every returned node must be at least as close as any node not
+	// returned.
+	maxIn := enode.LogDist(closest[len(closest)-1].ID.Hash(), th)
+	for _, n := range tab.All() {
+		in := false
+		for _, c := range closest {
+			if c.ID == n.ID {
+				in = true
+				break
+			}
+		}
+		if !in && enode.LogDist(n.ID.Hash(), th) < maxIn {
+			t.Fatal("a closer node was omitted")
+		}
+	}
+}
+
+func TestTableParityMetric(t *testing.T) {
+	// A table built with the Parity metric files the same nodes into
+	// very different buckets than the Geth metric — the root of the
+	// §6.3 friction.
+	rng := rand.New(rand.NewSource(5))
+	self := enode.RandomID(rng)
+	gethTab := NewTable(self, enode.LogDist, 5)
+	parityTab := NewTable(self, enode.ParityLogDist, 5)
+	nodes := make([]*enode.Node, 500)
+	for i := range nodes {
+		nodes[i] = randomNode(rng)
+		gethTab.AddSeenNode(nodes[i], time.Now())
+		parityTab.AddSeenNode(nodes[i], time.Now())
+	}
+	g, p := gethTab.BucketLoad(), parityTab.BucketLoad()
+	// Geth's fullest buckets sit at the very top of the range
+	// (distance ≈ 256); Parity's mass centers near 227. Compare the
+	// load-weighted mean bucket index of each table.
+	mean := func(load [BucketCount]int) float64 {
+		sum, n := 0, 0
+		for i, c := range load {
+			sum += i * c
+			n += c
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(sum) / float64(n)
+	}
+	gm, pm := mean(g), mean(p)
+	if gm < 248 {
+		t.Errorf("geth mean bucket %.1f, want ≥248", gm)
+	}
+	if pm > 240 || pm < 210 {
+		t.Errorf("parity mean bucket %.1f, want ≈227", pm)
+	}
+}
+
+func TestTableRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tab := NewTable(enode.RandomID(rng), nil, 6)
+	for i := 0; i < 50; i++ {
+		tab.AddSeenNode(randomNode(rng), time.Now())
+	}
+	r := tab.Random(10)
+	if len(r) != 10 {
+		t.Fatalf("got %d nodes", len(r))
+	}
+	seen := map[enode.ID]bool{}
+	for _, n := range r {
+		if seen[n.ID] {
+			t.Fatal("duplicate in random sample")
+		}
+		seen[n.ID] = true
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := NewTable(enode.RandomID(rng), nil, 7)
+	n := randomNode(rng)
+	tab.AddSeenNode(n, time.Now())
+	tab.Remove(n.ID)
+	if tab.Contains(n.ID) || tab.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	// Removing a missing node is a no-op.
+	tab.Remove(n.ID)
+}
+
+func TestAddVerifiedMovesToFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tab := NewTable(enode.RandomID(rng), nil, 8)
+	a, b := randomNode(rng), randomNode(rng)
+	tab.AddSeenNode(a, time.Now())
+	tab.AddSeenNode(b, time.Now())
+	if !tab.AddVerifiedNode(b, time.Now()) {
+		t.Fatal("verify failed")
+	}
+	// b should now be resistant to a single liveness failure reset.
+	tab.FailLiveness(b.ID)
+	if !tab.Contains(b.ID) {
+		t.Fatal("one failure evicted node")
+	}
+}

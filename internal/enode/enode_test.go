@@ -1,0 +1,228 @@
+package enode
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/secp256k1"
+)
+
+func randomKeyID(t testing.TB, seed int64) ID {
+	t.Helper()
+	k, err := secp256k1.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PubkeyID(&k.Pub)
+}
+
+func TestPubkeyIDRoundTrip(t *testing.T) {
+	id := randomKeyID(t, 1)
+	pub, err := id.Pubkey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PubkeyID(pub) != id {
+		t.Fatal("pubkey round trip mismatch")
+	}
+}
+
+func TestPubkeyRejectsRandomID(t *testing.T) {
+	// A random 64-byte string is essentially never a curve point.
+	rng := rand.New(rand.NewSource(2))
+	id := RandomID(rng)
+	if _, err := id.Pubkey(); err == nil {
+		t.Error("random ID accepted as public key")
+	}
+}
+
+func TestHexID(t *testing.T) {
+	id := randomKeyID(t, 3)
+	parsed, err := HexID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != id {
+		t.Fatal("hex round trip mismatch")
+	}
+	// Prefixed forms.
+	if p, err := HexID("0x" + id.String()); err != nil || p != id {
+		t.Error("0x prefix rejected")
+	}
+	if p, err := HexID("enode://" + id.String()); err != nil || p != id {
+		t.Error("enode:// prefix rejected")
+	}
+	// Invalid forms.
+	if _, err := HexID("zz"); err == nil {
+		t.Error("short hex accepted")
+	}
+	if _, err := HexID(strings.Repeat("g", 128)); err == nil {
+		t.Error("non-hex accepted")
+	}
+}
+
+func TestEnodeURLRoundTrip(t *testing.T) {
+	id := randomKeyID(t, 4)
+	n := New(id, net.ParseIP("191.235.84.50"), 30301, 30303)
+	url := n.String()
+	if !strings.HasPrefix(url, "enode://") {
+		t.Fatalf("bad url %s", url)
+	}
+	if !strings.Contains(url, "discport=30301") {
+		t.Fatalf("missing discport in %s", url)
+	}
+	back, err := ParseURL(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != id || back.UDP != 30301 || back.TCP != 30303 || !back.IP.Equal(n.IP) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestEnodeURLNoDiscport(t *testing.T) {
+	id := randomKeyID(t, 5)
+	n := New(id, net.ParseIP("10.0.0.1"), 30303, 30303)
+	if strings.Contains(n.String(), "discport") {
+		t.Error("discport present when equal")
+	}
+	back, err := ParseURL(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.UDP != 30303 {
+		t.Errorf("udp = %d", back.UDP)
+	}
+}
+
+func TestParseURLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"http://foo",
+		"enode://@1.2.3.4:30303",
+		"enode://abcd@1.2.3.4:30303",
+		"enode://" + strings.Repeat("aa", 64), // no host
+		"enode://" + strings.Repeat("aa", 64) + "@nohost", // no port
+		"enode://" + strings.Repeat("aa", 64) + "@1.2.3.4:99999",
+		"enode://" + strings.Repeat("aa", 64) + "@1.2.3.4:30303?discport=bogus",
+	}
+	for _, s := range bad {
+		if _, err := ParseURL(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestLogDist(t *testing.T) {
+	var a, b [32]byte
+	if LogDist(a, b) != 0 {
+		t.Error("identical hashes should have distance 0")
+	}
+	b[31] = 0x01
+	if d := LogDist(a, b); d != 1 {
+		t.Errorf("lowest bit differs: distance %d, want 1", d)
+	}
+	b = [32]byte{}
+	b[0] = 0x80
+	if d := LogDist(a, b); d != 256 {
+		t.Errorf("highest bit differs: distance %d, want 256", d)
+	}
+	b[0] = 0x40
+	if d := LogDist(a, b); d != 255 {
+		t.Errorf("second bit differs: distance %d, want 255", d)
+	}
+}
+
+func TestLogDistSymmetric(t *testing.T) {
+	f := func(a, b [32]byte) bool {
+		return LogDist(a, b) == LogDist(b, a) && ParityLogDist(a, b) == ParityLogDist(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogDistTriangleish(t *testing.T) {
+	// XOR metric property: d(a,c) <= max(d(a,b), d(b,c)).
+	f := func(a, b, c [32]byte) bool {
+		dac := LogDist(a, c)
+		dab := LogDist(a, b)
+		dbc := LogDist(b, c)
+		maxd := dab
+		if dbc > maxd {
+			maxd = dbc
+		}
+		return dac <= maxd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityMetricDisagrees(t *testing.T) {
+	// For random hashes the two metrics almost never agree; this is
+	// the §6.3 incongruity. Check both the disagreement rate and the
+	// distributions' very different centers.
+	rng := rand.New(rand.NewSource(6))
+	agree, trials := 0, 2000
+	var sumG, sumP int
+	for i := 0; i < trials; i++ {
+		var a, b [32]byte
+		rng.Read(a[:])
+		rng.Read(b[:])
+		g, p := LogDist(a, b), ParityLogDist(a, b)
+		if g == p {
+			agree++
+		}
+		sumG += g
+		sumP += p
+	}
+	if agree > trials/10 {
+		t.Errorf("metrics agree on %d/%d random pairs; expected rare agreement", agree, trials)
+	}
+	meanG, meanP := float64(sumG)/float64(trials), float64(sumP)/float64(trials)
+	if meanG < 254 || meanG > 256 {
+		t.Errorf("Geth metric mean %.2f, want ≈255", meanG)
+	}
+	if meanP < 220 || meanP > 234 {
+		t.Errorf("Parity metric mean %.2f, want ≈227", meanP)
+	}
+}
+
+func TestParityMetricAgreementCondition(t *testing.T) {
+	// Equation (1): the metrics agree when the XOR is 2^k - 1 (all
+	// low bits set), e.g. hashes differing in every bit below k.
+	var a [32]byte
+	for k := 1; k <= 256; k++ {
+		var b [32]byte
+		// b = a XOR (2^k - 1)
+		for bit := 0; bit < k; bit++ {
+			b[31-bit/8] |= 1 << (bit % 8)
+		}
+		g, p := LogDist(a, b), ParityLogDist(a, b)
+		if g != k || p != k {
+			t.Fatalf("k=%d: geth=%d parity=%d", k, g, p)
+		}
+	}
+}
+
+func TestTerminalString(t *testing.T) {
+	id := randomKeyID(t, 7)
+	s := id.TerminalString()
+	if len(s) == 0 || len(s) >= len(id.String()) {
+		t.Errorf("bad terminal string %q", s)
+	}
+}
+
+func TestNodeAddrs(t *testing.T) {
+	n := New(randomKeyID(t, 8), net.ParseIP("192.0.2.1"), 30301, 30303)
+	if n.Addr().Port != 30301 || n.TCPAddr().Port != 30303 {
+		t.Error("bad ports")
+	}
+	if !n.Addr().IP.Equal(net.ParseIP("192.0.2.1")) {
+		t.Error("bad IP")
+	}
+}

@@ -1,0 +1,320 @@
+// Package eth implements versions 62/63 of the Ethereum wire
+// subprotocol — the 'eth' capability negotiated over DEVp2p (§2.3).
+//
+// Only the subset NodeFinder exercises is fully implemented as peer
+// operations: the STATUS handshake and the GET_BLOCK_HEADERS /
+// BLOCK_HEADERS exchange used for DAO-fork verification. The
+// remaining message codes are defined so traffic models and decoders
+// can classify them (Figures 2/3).
+package eth
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/chain"
+	"repro/internal/devp2p"
+	"repro/internal/rlp"
+)
+
+// Protocol versions.
+const (
+	Version62 uint = 62
+	Version63 uint = 63
+)
+
+// ProtocolName is the capability name announced in HELLO.
+const ProtocolName = "eth"
+
+// ProtocolLength is the number of message codes eth/63 reserves.
+const ProtocolLength uint64 = 17
+
+// Message codes, relative to the negotiated offset.
+const (
+	StatusMsg uint64 = iota
+	NewBlockHashesMsg
+	TransactionsMsg
+	GetBlockHeadersMsg
+	BlockHeadersMsg
+	GetBlockBodiesMsg
+	BlockBodiesMsg
+	NewBlockMsg
+	_ // 0x08-0x0c unused in 62/63
+	_
+	_
+	_
+	_
+	GetNodeDataMsg // 0x0d (eth/63 fast sync)
+	NodeDataMsg
+	GetReceiptsMsg
+	ReceiptsMsg
+)
+
+// MsgName returns a human-readable message name for traffic logs.
+func MsgName(code uint64) string {
+	switch code {
+	case StatusMsg:
+		return "STATUS"
+	case NewBlockHashesMsg:
+		return "NEW_BLOCK_HASHES"
+	case TransactionsMsg:
+		return "TRANSACTIONS"
+	case GetBlockHeadersMsg:
+		return "GET_BLOCK_HEADERS"
+	case BlockHeadersMsg:
+		return "BLOCK_HEADERS"
+	case GetBlockBodiesMsg:
+		return "GET_BLOCK_BODIES"
+	case BlockBodiesMsg:
+		return "BLOCK_BODIES"
+	case NewBlockMsg:
+		return "NEW_BLOCK"
+	case GetNodeDataMsg:
+		return "GET_NODE_DATA"
+	case NodeDataMsg:
+		return "NODE_DATA"
+	case GetReceiptsMsg:
+		return "GET_RECEIPTS"
+	case ReceiptsMsg:
+		return "RECEIPTS"
+	default:
+		return fmt.Sprintf("UNKNOWN(%#x)", code)
+	}
+}
+
+// Status is the eth handshake message: the blockchain identity and
+// head state a peer advertises.
+type Status struct {
+	ProtocolVersion uint32
+	NetworkID       uint64
+	TD              *big.Int
+	BestHash        chain.Hash
+	GenesisHash     chain.Hash
+	Rest            []rlp.RawValue `rlp:"tail"`
+}
+
+// GetBlockHeaders requests a span of headers. Origin is either a
+// block hash or a number.
+type GetBlockHeaders struct {
+	Origin  HashOrNumber
+	Amount  uint64
+	Skip    uint64
+	Reverse bool
+}
+
+// HashOrNumber is the polymorphic origin field: encoded as a 32-byte
+// hash or an integer.
+type HashOrNumber struct {
+	Hash   chain.Hash
+	Number uint64
+	IsHash bool
+}
+
+// EncodeRLP implements rlp.Encoder.
+func (h *HashOrNumber) EncodeRLP(w io.Writer) error {
+	var enc []byte
+	var err error
+	if h.IsHash {
+		enc, err = rlp.EncodeToBytes(h.Hash)
+	} else {
+		enc, err = rlp.EncodeToBytes(h.Number)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(enc)
+	return err
+}
+
+// DecodeRLP implements rlp.Decoder.
+func (h *HashOrNumber) DecodeRLP(s *rlp.Stream) error {
+	_, size, err := s.Kind()
+	if err != nil {
+		return err
+	}
+	if size == 32 {
+		h.IsHash = true
+		var hash [32]byte
+		if err := s.ReadBytes(hash[:]); err != nil {
+			return err
+		}
+		h.Hash = chain.Hash(hash)
+		return nil
+	}
+	h.IsHash = false
+	h.Number, err = s.Uint64()
+	return err
+}
+
+// Handshake errors, classified the way NodeFinder's logs need them.
+var (
+	ErrNetworkMismatch  = errors.New("eth: network ID mismatch")
+	ErrGenesisMismatch  = errors.New("eth: genesis hash mismatch")
+	ErrProtocolMismatch = errors.New("eth: protocol version mismatch")
+	ErrNoStatus         = errors.New("eth: peer sent non-status message first")
+)
+
+// SendStatus writes a STATUS message at the negotiated code offset.
+func SendStatus(rw devp2p.MsgReadWriter, offset uint64, s *Status) error {
+	payload, err := rlp.EncodeToBytes(s)
+	if err != nil {
+		return fmt.Errorf("eth: encoding status: %w", err)
+	}
+	return rw.WriteMsg(offset+StatusMsg, payload)
+}
+
+// ReadStatus reads the peer's STATUS. A DISCONNECT in its place is
+// surfaced as devp2p.DisconnectError.
+func ReadStatus(rw devp2p.MsgReadWriter, offset uint64) (*Status, error) {
+	code, payload, err := rw.ReadMsg()
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case devp2p.DiscMsg:
+		return nil, devp2p.DisconnectError{Reason: devp2p.DecodeDisconnect(payload)}
+	case offset + StatusMsg:
+		var s Status
+		if err := rlp.DecodeBytes(payload, &s); err != nil {
+			return nil, fmt.Errorf("eth: decoding status: %w", err)
+		}
+		return &s, nil
+	default:
+		return nil, fmt.Errorf("%w: code %#x", ErrNoStatus, code)
+	}
+}
+
+// CheckCompatibility compares two statuses the way clients decide
+// whether to keep a peer.
+func CheckCompatibility(ours, theirs *Status) error {
+	if ours.NetworkID != theirs.NetworkID {
+		return fmt.Errorf("%w: ours %d, theirs %d", ErrNetworkMismatch, ours.NetworkID, theirs.NetworkID)
+	}
+	if ours.GenesisHash != theirs.GenesisHash {
+		return fmt.Errorf("%w: ours %s, theirs %s", ErrGenesisMismatch, ours.GenesisHash.Short(), theirs.GenesisHash.Short())
+	}
+	if ours.ProtocolVersion != theirs.ProtocolVersion {
+		return fmt.Errorf("%w: ours %d, theirs %d", ErrProtocolMismatch, ours.ProtocolVersion, theirs.ProtocolVersion)
+	}
+	return nil
+}
+
+// RequestHeaders sends GET_BLOCK_HEADERS.
+func RequestHeaders(rw devp2p.MsgReadWriter, offset uint64, req *GetBlockHeaders) error {
+	payload, err := rlp.EncodeToBytes(req)
+	if err != nil {
+		return err
+	}
+	return rw.WriteMsg(offset+GetBlockHeadersMsg, payload)
+}
+
+// ReadHeaders reads a BLOCK_HEADERS response, skipping unrelated
+// broadcast messages (transactions, new blocks) that may interleave.
+func ReadHeaders(rw devp2p.MsgReadWriter, offset uint64) ([]*chain.Header, error) {
+	for i := 0; i < 32; i++ { // bounded tolerance for broadcast noise
+		code, payload, err := rw.ReadMsg()
+		if err != nil {
+			return nil, err
+		}
+		switch code {
+		case offset + BlockHeadersMsg:
+			var headers []*chain.Header
+			if err := rlp.DecodeBytes(payload, &headers); err != nil {
+				return nil, fmt.Errorf("eth: decoding headers: %w", err)
+			}
+			return headers, nil
+		case devp2p.DiscMsg:
+			return nil, devp2p.DisconnectError{Reason: devp2p.DecodeDisconnect(payload)}
+		case devp2p.PingMsg:
+			if err := devp2p.SendPong(rw); err != nil {
+				return nil, err
+			}
+		default:
+			// Ignore broadcast traffic while waiting.
+		}
+	}
+	return nil, errors.New("eth: no header response within message budget")
+}
+
+// ServeHeaders answers one GET_BLOCK_HEADERS request from c.
+func ServeHeaders(c *chain.Chain, req *GetBlockHeaders) []*chain.Header {
+	if req.Amount == 0 {
+		return nil
+	}
+	var start *chain.Header
+	if req.Origin.IsHash {
+		start = c.HeaderByHash(req.Origin.Hash)
+	} else {
+		start = c.HeaderByNumber(req.Origin.Number)
+	}
+	if start == nil {
+		return nil
+	}
+	headers := []*chain.Header{start}
+	step := int64(req.Skip) + 1
+	cur := start.Number.Int64()
+	for uint64(len(headers)) < req.Amount {
+		if req.Reverse {
+			cur -= step
+		} else {
+			cur += step
+		}
+		if cur < 0 {
+			break
+		}
+		h := c.HeaderByNumber(uint64(cur))
+		if h == nil {
+			break
+		}
+		headers = append(headers, h)
+	}
+	return headers
+}
+
+// VerifyDAOFork performs NodeFinder's fork check: request the DAO
+// fork header and inspect its extra-data. The return value
+// distinguishes pro-fork (Mainnet), anti-fork (Classic), and unknown
+// (peer has not reached the fork block).
+type DAOForkSupport int
+
+// Fork stances.
+const (
+	DAOForkUnknown DAOForkSupport = iota
+	DAOForkSupported
+	DAOForkOpposed
+)
+
+func (s DAOForkSupport) String() string {
+	switch s {
+	case DAOForkSupported:
+		return "supports DAO fork"
+	case DAOForkOpposed:
+		return "opposes DAO fork"
+	default:
+		return "DAO fork stance unknown"
+	}
+}
+
+// VerifyDAOFork runs the request/response round.
+func VerifyDAOFork(rw devp2p.MsgReadWriter, offset uint64) (DAOForkSupport, error) {
+	req := &GetBlockHeaders{
+		Origin: HashOrNumber{Number: chain.DAOForkBlock},
+		Amount: 1,
+	}
+	if err := RequestHeaders(rw, offset, req); err != nil {
+		return DAOForkUnknown, err
+	}
+	headers, err := ReadHeaders(rw, offset)
+	if err != nil {
+		return DAOForkUnknown, err
+	}
+	if len(headers) == 0 {
+		return DAOForkUnknown, nil
+	}
+	if headers[0].SupportsDAOFork() {
+		return DAOForkSupported, nil
+	}
+	return DAOForkOpposed, nil
+}

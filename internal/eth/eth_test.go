@@ -1,0 +1,307 @@
+package eth
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/devp2p"
+	"repro/internal/rlp"
+)
+
+// chanRW is an in-memory MsgReadWriter pair for protocol tests.
+type chanRW struct {
+	in, out chan wireMsg
+}
+
+type wireMsg struct {
+	code    uint64
+	payload []byte
+}
+
+func newChanRW() (*chanRW, *chanRW) {
+	a := make(chan wireMsg, 32)
+	b := make(chan wireMsg, 32)
+	return &chanRW{in: a, out: b}, &chanRW{in: b, out: a}
+}
+
+func (c *chanRW) ReadMsg() (uint64, []byte, error) {
+	m, ok := <-c.in
+	if !ok {
+		return 0, nil, errors.New("closed")
+	}
+	return m.code, m.payload, nil
+}
+
+func (c *chanRW) WriteMsg(code uint64, payload []byte) error {
+	c.out <- wireMsg{code, payload}
+	return nil
+}
+
+const offset = devp2p.BaseProtocolLength
+
+func mainnetStatus(c *chain.Chain) *Status {
+	return &Status{
+		ProtocolVersion: uint32(Version63),
+		NetworkID:       c.NetworkID,
+		TD:              c.TD(),
+		BestHash:        c.HeadHash(),
+		GenesisHash:     c.GenesisHash(),
+	}
+}
+
+func TestStatusExchange(t *testing.T) {
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "m", Length: 5})
+	a, b := newChanRW()
+
+	go func() {
+		s, err := ReadStatus(b, offset)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		SendStatus(b, offset, s) //nolint:errcheck // echo back
+	}()
+	if err := SendStatus(a, offset, mainnetStatus(c)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStatus(a, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NetworkID != 1 || got.GenesisHash != c.GenesisHash() || got.BestHash != c.HeadHash() {
+		t.Errorf("got %+v", got)
+	}
+	if got.TD.Cmp(c.TD()) != 0 {
+		t.Error("TD mismatch")
+	}
+}
+
+func TestReadStatusDisconnect(t *testing.T) {
+	a, b := newChanRW()
+	go devp2p.SendDisconnect(b, devp2p.DiscTooManyPeers) //nolint:errcheck
+	_, err := ReadStatus(a, offset)
+	var de devp2p.DisconnectError
+	if !errors.As(err, &de) || de.Reason != devp2p.DiscTooManyPeers {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckCompatibility(t *testing.T) {
+	main := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "mainnet", Length: 3})
+	classic := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "classic", Length: 3})
+	ropsten := chain.New(chain.Config{NetworkID: 3, GenesisSeed: "ropsten", Length: 3})
+
+	s1, s2 := mainnetStatus(main), mainnetStatus(main)
+	if err := CheckCompatibility(s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCompatibility(s1, mainnetStatus(ropsten)); !errors.Is(err, ErrNetworkMismatch) {
+		t.Errorf("network: %v", err)
+	}
+	if err := CheckCompatibility(s1, mainnetStatus(classic)); !errors.Is(err, ErrGenesisMismatch) {
+		t.Errorf("genesis: %v", err)
+	}
+	older := mainnetStatus(main)
+	older.ProtocolVersion = uint32(Version62)
+	if err := CheckCompatibility(s1, older); !errors.Is(err, ErrProtocolMismatch) {
+		t.Errorf("version: %v", err)
+	}
+}
+
+func TestHashOrNumberRLP(t *testing.T) {
+	// Number form.
+	n := &GetBlockHeaders{Origin: HashOrNumber{Number: 1920000}, Amount: 1}
+	enc, err := rlp.EncodeToBytes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GetBlockHeaders
+	if err := rlp.DecodeBytes(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Origin.IsHash || back.Origin.Number != 1920000 || back.Amount != 1 {
+		t.Errorf("number form: %+v", back)
+	}
+	// Hash form.
+	h := &GetBlockHeaders{Origin: HashOrNumber{Hash: chain.MainnetGenesisHash, IsHash: true}, Amount: 2, Skip: 3, Reverse: true}
+	enc2, err := rlp.EncodeToBytes(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back2 GetBlockHeaders
+	if err := rlp.DecodeBytes(enc2, &back2); err != nil {
+		t.Fatal(err)
+	}
+	if !back2.Origin.IsHash || back2.Origin.Hash != chain.MainnetGenesisHash || !back2.Reverse || back2.Skip != 3 {
+		t.Errorf("hash form: %+v", back2)
+	}
+}
+
+func TestServeHeaders(t *testing.T) {
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "serve", Length: 50})
+	// Forward span.
+	hs := ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Number: 10}, Amount: 5})
+	if len(hs) != 5 || hs[0].Number.Uint64() != 10 || hs[4].Number.Uint64() != 14 {
+		t.Fatalf("forward: %d headers", len(hs))
+	}
+	// With skip.
+	hs = ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Number: 0}, Amount: 3, Skip: 9})
+	if len(hs) != 3 || hs[1].Number.Uint64() != 10 || hs[2].Number.Uint64() != 20 {
+		t.Fatalf("skip: %+v", hs)
+	}
+	// Reverse.
+	hs = ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Number: 10}, Amount: 3, Reverse: true})
+	if len(hs) != 3 || hs[2].Number.Uint64() != 8 {
+		t.Fatalf("reverse: %+v", hs)
+	}
+	// By hash.
+	target := c.HeaderByNumber(7)
+	hs = ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Hash: target.HashValue(), IsHash: true}, Amount: 1})
+	if len(hs) != 1 || hs[0].Number.Uint64() != 7 {
+		t.Fatalf("by hash: %+v", hs)
+	}
+	// Beyond head truncates.
+	hs = ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Number: 48}, Amount: 10})
+	if len(hs) != 3 {
+		t.Fatalf("truncated: %d", len(hs))
+	}
+	// Unknown origin.
+	if hs := ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Number: 999}, Amount: 1}); hs != nil {
+		t.Fatal("phantom origin")
+	}
+}
+
+func TestVerifyDAOForkSupported(t *testing.T) {
+	// Serve from a pro-fork chain.
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "m", DAOFork: true})
+	c.ExtendTo(chain.DAOForkBlock + 1)
+	a, b := newChanRW()
+	go serveOneHeaderRequest(t, b, c)
+	support, err := VerifyDAOFork(a, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if support != DAOForkSupported {
+		t.Fatalf("got %v", support)
+	}
+}
+
+func TestVerifyDAOForkOpposed(t *testing.T) {
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "m", DAOFork: false})
+	c.ExtendTo(chain.DAOForkBlock + 1)
+	a, b := newChanRW()
+	go serveOneHeaderRequest(t, b, c)
+	support, err := VerifyDAOFork(a, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if support != DAOForkOpposed {
+		t.Fatalf("got %v", support)
+	}
+}
+
+func TestVerifyDAOForkUnknownForShortChain(t *testing.T) {
+	// Peer has not reached the fork block: empty response.
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "m", Length: 10})
+	a, b := newChanRW()
+	go serveOneHeaderRequest(t, b, c)
+	support, err := VerifyDAOFork(a, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if support != DAOForkUnknown {
+		t.Fatalf("got %v", support)
+	}
+}
+
+func serveOneHeaderRequest(t *testing.T, rw devp2p.MsgReadWriter, c *chain.Chain) {
+	t.Helper()
+	code, payload, err := rw.ReadMsg()
+	if err != nil || code != offset+GetBlockHeadersMsg {
+		t.Errorf("server got code %#x err %v", code, err)
+		return
+	}
+	var req GetBlockHeaders
+	if err := rlp.DecodeBytes(payload, &req); err != nil {
+		t.Error(err)
+		return
+	}
+	resp, err := rlp.EncodeToBytes(ServeHeaders(c, &req))
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	rw.WriteMsg(offset+BlockHeadersMsg, resp) //nolint:errcheck
+}
+
+func TestReadHeadersSkipsBroadcastNoise(t *testing.T) {
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "m", Length: 5})
+	a, b := newChanRW()
+	go func() {
+		// Noise first, then the real response.
+		b.WriteMsg(offset+TransactionsMsg, []byte{0xC0})   //nolint:errcheck
+		b.WriteMsg(offset+NewBlockHashesMsg, []byte{0xC0}) //nolint:errcheck
+		resp, _ := rlp.EncodeToBytes(ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Number: 1}, Amount: 1}))
+		b.WriteMsg(offset+BlockHeadersMsg, resp) //nolint:errcheck
+	}()
+	hs, err := ReadHeaders(a, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 1 || hs[0].Number.Uint64() != 1 {
+		t.Fatalf("got %+v", hs)
+	}
+}
+
+func TestReadHeadersAnswersPing(t *testing.T) {
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "m", Length: 5})
+	a, b := newChanRW()
+	go func() {
+		devp2p.SendPing(b) //nolint:errcheck
+		// Expect a pong before continuing.
+		code, _, _ := b.ReadMsg()
+		if code != devp2p.PongMsg {
+			t.Errorf("no pong, code %#x", code)
+		}
+		resp, _ := rlp.EncodeToBytes(ServeHeaders(c, &GetBlockHeaders{Origin: HashOrNumber{Number: 0}, Amount: 1}))
+		b.WriteMsg(offset+BlockHeadersMsg, resp) //nolint:errcheck
+	}()
+	if _, err := ReadHeaders(a, offset); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgNames(t *testing.T) {
+	if MsgName(TransactionsMsg) != "TRANSACTIONS" {
+		t.Error(MsgName(TransactionsMsg))
+	}
+	if MsgName(GetReceiptsMsg) != "GET_RECEIPTS" {
+		t.Error(MsgName(GetReceiptsMsg))
+	}
+	if MsgName(0x99) != "UNKNOWN(0x99)" {
+		t.Error(MsgName(0x99))
+	}
+}
+
+func TestStatusRLPRoundTrip(t *testing.T) {
+	s := &Status{
+		ProtocolVersion: 63,
+		NetworkID:       1,
+		TD:              big.NewInt(123456789),
+		BestHash:        chain.MainnetGenesisHash,
+		GenesisHash:     chain.MainnetGenesisHash,
+	}
+	enc, err := rlp.EncodeToBytes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Status
+	if err := rlp.DecodeBytes(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TD.Cmp(s.TD) != 0 || back.BestHash != s.BestHash {
+		t.Errorf("got %+v", back)
+	}
+}

@@ -1,0 +1,394 @@
+package ethnode
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/devp2p"
+	"repro/internal/discv4"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/rlpx"
+)
+
+func testKey(t testing.TB, seed int64) *secp256k1.PrivateKey {
+	t.Helper()
+	k, err := secp256k1.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+var mainnetSim = func() *chain.Chain {
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "mainnet-sim", DAOFork: true})
+	c.ExtendTo(chain.DAOForkBlock + 30)
+	return c
+}()
+
+func startNode(t *testing.T, seed int64, cfg Config) *Node {
+	t.Helper()
+	cfg.Key = testKey(t, seed)
+	if cfg.ClientName == "" {
+		cfg.ClientName = "Geth/v1.8.11-stable/linux-amd64/go1.10"
+	}
+	if cfg.Chain == nil {
+		cfg.Chain = mainnetSim
+	}
+	n, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func crawlerDialer(t *testing.T, seed int64, checkDAO bool) *nodefinder.RealDialer {
+	t.Helper()
+	return &nodefinder.RealDialer{
+		Key: testKey(t, seed),
+		Hello: devp2p.Hello{
+			Version:    devp2p.Version,
+			Name:       "NodeFinder/v1.0",
+			Caps:       []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}},
+			ListenPort: 30303,
+		},
+		Status:      MainnetStatusFor(mainnetSim),
+		DialTimeout: 3 * time.Second,
+		CheckDAO:    checkDAO,
+	}
+}
+
+func dialWith(d *nodefinder.RealDialer, target *Node) *nodefinder.DialResult {
+	var (
+		res *nodefinder.DialResult
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	d.Dial(target.Self(), mlog.ConnDynamicDial, func(r *nodefinder.DialResult) {
+		res = r
+		wg.Done()
+	})
+	wg.Wait()
+	return res
+}
+
+func TestFullHandshakeChain(t *testing.T) {
+	n := startNode(t, 1, Config{})
+	res := dialWith(crawlerDialer(t, 100, true), n)
+	if res.Err != nil {
+		t.Fatalf("dial error: %v", res.Err)
+	}
+	if res.Hello == nil || res.Hello.Name != "Geth/v1.8.11-stable/linux-amd64/go1.10" {
+		t.Fatalf("hello: %+v", res.Hello)
+	}
+	if res.Status == nil || res.Status.NetworkID != 1 || res.Status.GenesisHash != mainnetSim.GenesisHash() {
+		t.Fatalf("status: %+v", res.Status)
+	}
+	if !res.DAOChecked || res.DAOFork != eth.DAOForkSupported {
+		t.Fatalf("DAO: checked=%v stance=%v", res.DAOChecked, res.DAOFork)
+	}
+	if res.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for n.PeerCount() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n.PeerCount() != 0 {
+		t.Error("peer slot not freed after disconnect")
+	}
+}
+
+func TestDAOOpposedDetected(t *testing.T) {
+	classic := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "mainnet-sim", DAOFork: false})
+	classic.ExtendTo(chain.DAOForkBlock + 30)
+	n := startNode(t, 2, Config{Chain: classic})
+	res := dialWith(crawlerDialer(t, 101, true), n)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.DAOChecked || res.DAOFork != eth.DAOForkOpposed {
+		t.Fatalf("checked=%v stance=%v", res.DAOChecked, res.DAOFork)
+	}
+}
+
+// holdSession completes the handshake chain against target and keeps
+// the peer slot occupied until release closes.
+func holdSession(t *testing.T, seed int64, target *Node, release <-chan struct{}, ready chan<- error) {
+	key := testKey(t, seed)
+	fd, err := net.Dial("tcp4", target.Self().TCPAddr().String())
+	if err != nil {
+		ready <- err
+		return
+	}
+	defer fd.Close()
+	conn, err := rlpx.Initiate(fd, key, target.Self().ID)
+	if err != nil {
+		ready <- err
+		return
+	}
+	hello := &devp2p.Hello{
+		Version: devp2p.Version, Name: "holder",
+		Caps: []devp2p.Cap{{Name: "eth", Version: 63}},
+		ID:   enode.PubkeyID(&key.Pub),
+	}
+	theirs, err := devp2p.ExchangeHello(conn, hello)
+	if err != nil {
+		ready <- err
+		return
+	}
+	if hello.Version >= devp2p.Version && theirs.Version >= devp2p.Version {
+		conn.SetSnappy(true)
+	}
+	offset := devp2p.BaseProtocolLength
+	st := MainnetStatusFor(mainnetSim)
+	if err := eth.SendStatus(conn, offset, &st); err != nil {
+		ready <- err
+		return
+	}
+	if _, err := eth.ReadStatus(conn, offset); err != nil {
+		ready <- fmt.Errorf("status: %w", err)
+		return
+	}
+	ready <- nil
+	<-release
+	devp2p.SendDisconnect(conn, devp2p.DiscQuitting) //nolint:errcheck
+}
+
+func TestTooManyPeersDisconnect(t *testing.T) {
+	n := startNode(t, 5, Config{MaxPeers: 1})
+	release := make(chan struct{})
+	ready := make(chan error, 1)
+	go holdSession(t, 103, n, release, ready)
+	if err := <-ready; err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+	if !n.WaitForPeers(1, 3*time.Second) {
+		t.Fatal("holder never registered")
+	}
+	res := dialWith(crawlerDialer(t, 104, false), n)
+	if res.Disconnect == nil || *res.Disconnect != devp2p.DiscTooManyPeers {
+		t.Fatalf("expected Too many peers, got disc=%v err=%v", res.Disconnect, res.Err)
+	}
+	close(release)
+	sent, _ := n.Counters.Snapshot()
+	if sent["DISCONNECT:Too many peers"] == 0 {
+		t.Error("counter not bumped")
+	}
+}
+
+func TestUselessPeerStillYieldsHello(t *testing.T) {
+	// When we advertise only bzz, the eth node rejects us as useless
+	// — but NodeFinder already captured the HELLO, which is all the
+	// DEVp2p census needs.
+	n := startNode(t, 7, Config{})
+	d := crawlerDialer(t, 105, false)
+	d.Hello.Caps = []devp2p.Cap{{Name: "bzz", Version: 2}}
+	res := dialWith(d, n)
+	if res.Hello == nil {
+		t.Fatalf("no hello: %+v", res)
+	}
+	if res.Status != nil {
+		t.Error("status should not exist without shared eth capability")
+	}
+}
+
+func TestGenesisMismatchStillYieldsStatus(t *testing.T) {
+	other := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "other-chain", Length: 5})
+	n := startNode(t, 8, Config{Chain: other})
+	res := dialWith(crawlerDialer(t, 106, false), n)
+	if res.Status == nil {
+		t.Fatalf("no status: err=%v disc=%v", res.Err, res.Disconnect)
+	}
+	if res.Status.GenesisHash != other.GenesisHash() {
+		t.Error("wrong genesis learned")
+	}
+}
+
+func TestNonEthServiceNode(t *testing.T) {
+	// A Swarm-only node (no chain): HELLO works, then it cuts us off
+	// as useless. These are the paper's "non-productive peers".
+	n := startNode(t, 9, Config{
+		ClientName: "swarm/v0.3",
+		Caps:       []devp2p.Cap{{Name: "bzz", Version: 2}},
+		Chain:      nil,
+	})
+	// Force nil chain: startNode injected mainnetSim, so build
+	// directly instead.
+	n.Close()
+	raw, err := Start(Config{
+		Key:        testKey(t, 10),
+		ClientName: "swarm/v0.3",
+		Caps:       []devp2p.Cap{{Name: "bzz", Version: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var res *nodefinder.DialResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	crawlerDialer(t, 107, false).Dial(raw.Self(), mlog.ConnDynamicDial, func(r *nodefinder.DialResult) {
+		res = r
+		wg.Done()
+	})
+	wg.Wait()
+	if res.Hello == nil || res.Hello.Name != "swarm/v0.3" {
+		t.Fatalf("hello: %+v err=%v", res.Hello, res.Err)
+	}
+	if len(res.Hello.Caps) != 1 || res.Hello.Caps[0].Name != "bzz" {
+		t.Errorf("caps: %v", res.Hello.Caps)
+	}
+	if res.Status != nil {
+		t.Error("phantom status from non-eth node")
+	}
+}
+
+func TestDiscoveryIntegration(t *testing.T) {
+	boot := startNode(t, 11, Config{Discovery: true})
+	n1 := startNode(t, 12, Config{Discovery: true, Bootnodes: []*enode.Node{boot.Self()}})
+	n2 := startNode(t, 13, Config{Discovery: true, Bootnodes: []*enode.Node{boot.Self()}})
+	if err := n1.Bond(boot.Self()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Bond(boot.Self()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	found := false
+	for i := 0; i < 5 && !found; i++ {
+		for _, n := range n1.Discovery().Lookup(enode.RandomID(rng)) {
+			if n.ID == n2.Self().ID {
+				found = true
+			}
+		}
+		if n1.Discovery().Table().Contains(n2.Self().ID) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("n1 never learned n2 through the bootstrap")
+	}
+}
+
+func TestEndToEndCrawl(t *testing.T) {
+	// The headline integration test: a NodeFinder over the REAL
+	// stack (discv4 + RLPx + DEVp2p + eth over loopback sockets)
+	// crawls a small world and produces census-grade logs.
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	boot := startNode(t, 20, Config{Discovery: true})
+	world := []*Node{boot}
+	names := []string{
+		"Geth/v1.8.11-stable/linux-amd64/go1.10",
+		"Parity/v1.10.6-stable-xxx/x86_64-linux-gnu/rustc1.26",
+		"Geth/v1.7.3-stable/linux-amd64/go1.9",
+	}
+	for i := 0; i < 3; i++ {
+		n := startNode(t, 21+int64(i), Config{
+			Discovery:  true,
+			Bootnodes:  []*enode.Node{boot.Self()},
+			ClientName: names[i],
+		})
+		if err := n.Bond(boot.Self()); err != nil {
+			t.Fatal(err)
+		}
+		world = append(world, n)
+	}
+
+	// The crawler's own discovery endpoint.
+	crawlKey := testKey(t, 30)
+	udp, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := newCrawlerDiscovery(crawlKey, udp, boot.Self())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.T.Close()
+	if err := tr.T.Ping(boot.Self()); err != nil {
+		t.Fatal(err)
+	}
+
+	col := mlog.NewCollector()
+	finder, err := nodefinder.New(nodefinder.Config{
+		Discovery:       tr,
+		Dialer:          crawlerDialer(t, 31, true),
+		Log:             col,
+		LookupInterval:  200 * time.Millisecond,
+		StaticInterval:  2 * time.Second,
+		MaxDynamicDials: 16,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finder.AddStatic(boot.Self())
+	finder.Start()
+	defer finder.Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if finder.Stats().SuccessfulConns >= 4 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	st := finder.Stats()
+	if st.SuccessfulConns < 4 {
+		t.Fatalf("crawled only %d nodes: %+v", st.SuccessfulConns, st)
+	}
+
+	// The census must contain every client name in the world.
+	seen := map[string]bool{}
+	for _, e := range col.Entries() {
+		if e.Hello != nil {
+			seen[e.Hello.ClientName] = true
+		}
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Errorf("census missing %s (saw %v)", name, seen)
+		}
+	}
+	// Status and DAO data must be present for crawled Mainnet peers.
+	hasStatus, hasDAO := false, false
+	for _, e := range col.Entries() {
+		if e.Status != nil {
+			hasStatus = true
+		}
+		if e.DAOFork == "supported" {
+			hasDAO = true
+		}
+	}
+	if !hasStatus || !hasDAO {
+		t.Errorf("status=%v dao=%v", hasStatus, hasDAO)
+	}
+}
+
+// newCrawlerDiscovery builds a RealDiscovery over a fresh discv4
+// transport bootstrapped at boot.
+func newCrawlerDiscovery(key *secp256k1.PrivateKey, udp *net.UDPConn, boot *enode.Node) (nodefinder.RealDiscovery, error) {
+	tr, err := discv4.Listen(discv4.UDPConn{UDPConn: udp}, discv4.Config{
+		Key:         key,
+		AnnounceTCP: 30303,
+		Bootnodes:   []*enode.Node{boot},
+		RespTimeout: 500 * time.Millisecond,
+		Seed:        99,
+	})
+	if err != nil {
+		return nodefinder.RealDiscovery{}, err
+	}
+	return nodefinder.RealDiscovery{T: tr}, nil
+}

@@ -1,0 +1,220 @@
+package ethnode
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/devp2p"
+	"repro/internal/discv4"
+	"repro/internal/enode"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+)
+
+// TestMeshFormsAndBroadcastsTransactions exercises the full client
+// behavior over real sockets: nodes discover each other, dial out to
+// fill peer slots, and broadcast transactions — the traffic the §3
+// case study instruments.
+func TestMeshFormsAndBroadcastsTransactions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	boot := startNode(t, 200, Config{Discovery: true})
+	var nodes []*Node
+	for i := int64(0); i < 3; i++ {
+		n := startNode(t, 201+i, Config{
+			Discovery:  true,
+			Bootnodes:  []*enode.Node{boot.Self()},
+			DialPeers:  true,
+			TxInterval: 100 * time.Millisecond,
+			TxRelay:    RelayAll,
+		})
+		if err := n.Bond(boot.Self()); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	// Wait for a mesh: every dialing node should find at least one
+	// peer.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		connected := 0
+		for _, n := range nodes {
+			if n.PeerCount() >= 1 {
+				connected++
+			}
+		}
+		if connected == len(nodes) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for i, n := range nodes {
+		if n.PeerCount() < 1 {
+			t.Fatalf("node %d never connected (peers=%d)", i, n.PeerCount())
+		}
+	}
+
+	// Transactions must flow in both directions somewhere.
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var sent, recv uint64
+		for _, n := range append(nodes, boot) {
+			s, r := n.Counters.Snapshot()
+			sent += s["TRANSACTIONS"]
+			recv += r["TRANSACTIONS"]
+		}
+		if sent > 0 && recv > 0 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("no transaction traffic observed")
+}
+
+// TestIncomingListenerCapturesDialingNodes verifies the paper's
+// incoming-connection channel over real sockets: a NodeFinder
+// listener accepts a connection initiated by an ethnode's dial loop
+// and records the peer's HELLO and STATUS.
+func TestIncomingListenerCapturesDialingNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// The crawler's discovery endpoint + incoming listener share a
+	// port number so the ethnode can find and dial it.
+	key := testKey(t, 210)
+	col := mlog.NewCollector()
+	finder, err := nodefinder.New(nodefinder.Config{
+		Discovery: nullDiscovery{self: enode.PubkeyID(&key.Pub)},
+		Dialer:    nullDialer{},
+		Log:       col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener, err := nodefinder.ListenIncoming("", key, devp2p.Hello{
+		Version: devp2p.Version,
+		Name:    "NodeFinder/v1.0",
+		Caps:    []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}},
+	}, MainnetStatusFor(mainnetSim), finder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+
+	udp, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: listener.Addr().Port})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := discv4.Listen(discv4.UDPConn{UDPConn: udp}, discv4.Config{
+		Key:         key,
+		AnnounceTCP: uint16(listener.Addr().Port),
+		Seed:        210,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+	crawlerNode := enode.New(enode.PubkeyID(&key.Pub), net.IPv4(127, 0, 0, 1),
+		uint16(listener.Addr().Port), uint16(listener.Addr().Port))
+
+	// An ethnode that bootstraps off the crawler and dials out.
+	n := startNode(t, 211, Config{
+		Discovery:  true,
+		Bootnodes:  []*enode.Node{crawlerNode},
+		DialPeers:  true,
+		ClientName: "Geth/v1.8.11-stable/linux-amd64/go1.10",
+	})
+	if err := n.Bond(crawlerNode); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if finder.Stats().IncomingConns > 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if finder.Stats().IncomingConns == 0 {
+		t.Fatal("listener never saw an incoming connection")
+	}
+	// The census must hold the dialing node's identity.
+	found := false
+	for _, e := range col.Entries() {
+		if e.ConnType == mlog.ConnIncoming && e.Hello != nil &&
+			e.Hello.ClientName == "Geth/v1.8.11-stable/linux-amd64/go1.10" {
+			found = true
+			if e.Status == nil {
+				t.Error("incoming session captured no STATUS")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("census missing the inbound peer (entries=%d)", col.Len())
+	}
+}
+
+// TestParityRelayPolicySqrt verifies the √n broadcast policy by
+// comparing two identical centers that differ only in relay policy:
+// with 9 attached peers, the √n center must send roughly a third of
+// what the broadcast-to-all center sends.
+func TestParityRelayPolicySqrt(t *testing.T) {
+	runCenter := func(seedBase int64, relay TxRelayPolicy) uint64 {
+		center := startNode(t, seedBase, Config{
+			TxInterval: 50 * time.Millisecond,
+			TxRelay:    relay,
+			MaxPeers:   50,
+		})
+		var releases []chan struct{}
+		for i := int64(0); i < 9; i++ {
+			release := make(chan struct{})
+			ready := make(chan error, 1)
+			go holdSession(t, seedBase+1+i, center, release, ready)
+			if err := <-ready; err != nil {
+				t.Fatal(err)
+			}
+			releases = append(releases, release)
+		}
+		if !center.WaitForPeers(9, 5*time.Second) {
+			t.Fatal("holders never registered")
+		}
+		// Count sends over a fixed measurement window only.
+		s0, _ := center.Counters.Snapshot()
+		time.Sleep(600 * time.Millisecond)
+		s1, _ := center.Counters.Snapshot()
+		for _, r := range releases {
+			close(r)
+		}
+		return s1["TRANSACTIONS"] - s0["TRANSACTIONS"]
+	}
+
+	all := runCenter(220, RelayAll)
+	sqrt := runCenter(240, RelaySqrt)
+	if all == 0 || sqrt == 0 {
+		t.Fatalf("no traffic: all=%d sqrt=%d", all, sqrt)
+	}
+	// √9 = 3 of 9 peers: expect sqrt ≈ all/3; require < 60% to
+	// tolerate scheduling jitter.
+	if float64(sqrt) > 0.6*float64(all) {
+		t.Errorf("sqrt policy sent %d vs broadcast-all %d; expected ≈1/3", sqrt, all)
+	}
+}
+
+// nullDiscovery/nullDialer satisfy the Finder interfaces for a
+// listener-only crawler.
+type nullDiscovery struct{ self enode.ID }
+
+func (d nullDiscovery) Self() enode.ID { return d.self }
+
+func (d nullDiscovery) Lookup(target enode.ID, done func([]*enode.Node)) {
+	go done(nil)
+}
+
+type nullDialer struct{}
+
+func (nullDialer) Dial(n *enode.Node, kind mlog.ConnType, done func(*nodefinder.DialResult)) {
+	go done(&nodefinder.DialResult{Node: n, Kind: kind})
+}

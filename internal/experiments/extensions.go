@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/simnet"
+)
+
+// Extension experiments: analyses the paper motivates (churn
+// comparison with the file-sharing literature, the §5.4 spam
+// population's one-shot behavior) but does not tabulate. They are
+// reported separately in EXPERIMENTS.md.
+
+// ExtChurn measures availability dynamics and checks the paper's
+// qualitative claims: the abusive population is dominated by one-shot
+// identities ("80% of them were seen only once", §5.4) while the
+// sanitized population keeps returning.
+func ExtChurn(run *LongRun) *Result {
+	clean := analysis.Churn(run.Sanitized)
+
+	// Churn over only the removed (abusive) identities.
+	abusiveObs := map[string]*analysis.NodeObservation{}
+	for id := range run.Abusive.AbusiveNodes {
+		if o, ok := run.Nodes[id]; ok {
+			abusiveObs[id] = o
+		}
+	}
+	spam := analysis.Churn(abusiveObs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sanitized population:\n")
+	fmt.Fprintf(&b, "  one-shot identities:    %5.1f%%\n", clean.OneShotFraction*100)
+	fmt.Fprintf(&b, "  returning identities:   %5.1f%%\n", clean.ReturningFraction*100)
+	fmt.Fprintf(&b, "  median session length:  %6.0f min\n", clean.SessionCDF.P(0.5))
+	fmt.Fprintf(&b, "  p90 session length:     %6.0f min\n", clean.SessionCDF.P(0.9))
+	fmt.Fprintf(&b, "Abusive population (removed by §5.4):\n")
+	fmt.Fprintf(&b, "  one-shot identities:    %5.1f%%\n", spam.OneShotFraction*100)
+	fmt.Fprintf(&b, "  median session length:  %6.0f min\n", spam.SessionCDF.P(0.5))
+
+	pass := spam.OneShotFraction > 0.5 && // spam identities barely return
+		clean.ReturningFraction > spam.ReturningFraction &&
+		clean.SessionCDF.P(0.9) > spam.SessionCDF.P(0.9)
+	return &Result{
+		ID:         "ext-churn",
+		Title:      "Extension: churn and session dynamics",
+		Text:       b.String(),
+		PaperClaim: "80% of the top abusive IP's identities were seen only once and none lived past 30 minutes (§5.4); genuine nodes keep returning across the measurement",
+		Measured: fmt.Sprintf("abusive one-shot %.0f%% vs sanitized returning %.0f%%",
+			spam.OneShotFraction*100, clean.ReturningFraction*100),
+		Pass: pass,
+	}
+}
+
+// ExtMultiInstance reproduces the methodology behind §5's deployment
+// of 30 NodeFinder instances and the §5.2 internal-validation claim
+// that instances behave consistently: several independent crawlers
+// share one world; their discovery rates must agree closely, and
+// their union must out-cover any single instance (the reason for
+// running many).
+func ExtMultiInstance(seed int64, instances, baseNodes, hours int) *Result {
+	wcfg := simnet.DefaultConfig(seed)
+	wcfg.BaseNodes = baseNodes
+	w := simnet.NewWorld(wcfg)
+
+	finders := make([]*nodefinder.Finder, instances)
+	cols := make([]*mlog.Collector, instances)
+	for i := range finders {
+		cols[i] = mlog.NewCollector()
+		f, err := nodefinder.New(nodefinder.Config{
+			Clock:     w.Clock,
+			Discovery: w.NewDiscovery(seed + int64(i)*17),
+			Dialer:    w.NewDialer(seed + int64(i)*31),
+			Log:       cols[i],
+			Seed:      seed + int64(i)*53,
+		})
+		if err != nil {
+			return &Result{ID: "ext-multi", Title: "Extension: multi-instance consistency", Text: err.Error()}
+		}
+		finders[i] = f
+		f.Start()
+	}
+	w.Clock.Advance(time.Duration(hours) * time.Hour)
+	for _, f := range finders {
+		f.Stop()
+	}
+
+	// Per-instance discovery rates and coverage.
+	var rates []float64
+	union := map[string]bool{}
+	minCover, maxCover := math.MaxInt, 0
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d instances, %d world nodes, %d virtual hours\n", instances, baseNodes, hours)
+	for i, f := range finders {
+		st := f.Stats()
+		rate := float64(st.DiscoveryAttempts) / float64(hours)
+		rates = append(rates, rate)
+		seen := map[string]bool{}
+		for _, e := range cols[i].Entries() {
+			if e.Succeeded() || e.DisconnectReason != nil {
+				seen[e.NodeID] = true
+				union[e.NodeID] = true
+			}
+		}
+		if len(seen) < minCover {
+			minCover = len(seen)
+		}
+		if len(seen) > maxCover {
+			maxCover = len(seen)
+		}
+		fmt.Fprintf(&b, "  instance %d: %.0f lookups/h, %d responsive nodes seen\n", i, rate, len(seen))
+	}
+	fmt.Fprintf(&b, "union coverage: %d responsive nodes (best single: %d)\n", len(union), maxCover)
+
+	// Consistency: coefficient of variation of lookup rates.
+	mean, varsum := 0.0, 0.0
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	for _, r := range rates {
+		varsum += (r - mean) * (r - mean)
+	}
+	cv := math.Sqrt(varsum/float64(len(rates))) / mean
+	fmt.Fprintf(&b, "lookup-rate coefficient of variation: %.3f\n", cv)
+
+	pass := cv < 0.10 && // instances behave consistently (§5.2)
+		len(union) > maxCover && // many vantage points see more
+		minCover > 0
+	return &Result{
+		ID:         "ext-multi",
+		Title:      "Extension: multi-instance consistency (§5.2 methodology)",
+		Text:       b.String(),
+		PaperClaim: "30 instances made ≈304 discovery attempts/hour each with visibly constant rates; running many instances increases coverage",
+		Measured:   fmt.Sprintf("%d instances, rate CV %.3f, union %d vs best single %d", instances, cv, len(union), maxCover),
+		Pass:       pass,
+	}
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the simulated world plus the real NodeFinder
+// scheduling logic. Each experiment returns a Result holding the
+// rendered rows/series, the paper's published value, the measured
+// value, and a shape check (who wins / rough proportions), which
+// cmd/experiments assembles into EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/simnet"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID         string // e.g. "table1", "fig11"
+	Title      string
+	Text       string // rendered rows/series
+	PaperClaim string
+	Measured   string
+	Pass       bool
+}
+
+// LongRun is a completed crawl of a simulated world; several
+// experiments share one.
+type LongRun struct {
+	World   *simnet.World
+	Finder  *nodefinder.Finder
+	Entries []*mlog.Entry
+	Nodes   map[string]*analysis.NodeObservation
+	// Sanitized is the post-§5.4 dataset.
+	Sanitized map[string]*analysis.NodeObservation
+	Abusive   *analysis.SanitizeResult
+	Days      int
+	Start     time.Time
+
+	// DailyStats samples the Finder counters once per sim-day.
+	DailyStats []nodefinder.Stats
+}
+
+// CrawlConfig scales a crawl.
+type CrawlConfig struct {
+	Seed      int64
+	BaseNodes int
+	Days      int
+	// IncomingMean is the inbound connection inter-arrival mean.
+	IncomingMean time.Duration
+}
+
+// DefaultCrawl is the full-scale (laptop) configuration used by
+// cmd/experiments.
+func DefaultCrawl() CrawlConfig {
+	return CrawlConfig{Seed: 2018, BaseNodes: 1200, Days: 82, IncomingMean: 20 * time.Second}
+}
+
+// QuickCrawl is the scaled-down configuration used by benchmarks and
+// tests.
+func QuickCrawl() CrawlConfig {
+	return CrawlConfig{Seed: 2018, BaseNodes: 250, Days: 3, IncomingMean: 30 * time.Second}
+}
+
+// RunCrawl builds a world, runs NodeFinder against it for the
+// configured number of virtual days, and aggregates the log.
+func RunCrawl(cfg CrawlConfig) (*LongRun, error) {
+	wcfg := simnet.DefaultConfig(cfg.Seed)
+	wcfg.BaseNodes = cfg.BaseNodes
+	w := simnet.NewWorld(wcfg)
+
+	col := mlog.NewCollector()
+	f, err := nodefinder.New(nodefinder.Config{
+		Clock:     w.Clock,
+		Discovery: w.NewDiscovery(cfg.Seed + 1),
+		Dialer:    w.NewDialer(cfg.Seed + 2),
+		Log:       col,
+		Seed:      cfg.Seed + 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gen := w.StartIncoming(f, cfg.IncomingMean, cfg.Seed+4)
+	f.Start()
+
+	run := &LongRun{World: w, Finder: f, Days: cfg.Days, Start: wcfg.Start}
+	for d := 0; d < cfg.Days; d++ {
+		w.Clock.Advance(24 * time.Hour)
+		run.DailyStats = append(run.DailyStats, f.Stats())
+	}
+	f.Stop()
+	gen.Stop()
+
+	run.Entries = col.Entries()
+	run.Nodes = analysis.Aggregate(run.Entries)
+	run.Abusive = analysis.Sanitize(run.Nodes)
+	run.Sanitized = run.Abusive.Kept
+	return run, nil
+}
+
+// --- rendering helpers ---
+
+// renderShares renders ranked Share rows as an aligned text table.
+func renderShares(title string, rows []analysis.Share, limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, r := range rows {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(&b, "  … %d more rows\n", len(rows)-limit)
+			break
+		}
+		fmt.Fprintf(&b, "  %-42s %8d  %6.2f%%\n", r.Key, r.Count, r.Fraction*100)
+	}
+	return b.String()
+}
+
+// renderSeries renders a daily series compactly.
+func renderSeries(name string, s *analysis.DailySeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (mean %.1f/day):\n  ", name, s.Mean())
+	for i, v := range s.Days {
+		fmt.Fprintf(&b, "%g", v)
+		if i != len(s.Days)-1 {
+			b.WriteString(" ")
+		}
+		if (i+1)%14 == 0 {
+			b.WriteString("\n  ")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// sortedKeys returns map keys sorted for deterministic rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

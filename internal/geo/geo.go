@@ -1,0 +1,134 @@
+// Package geo provides a deterministic, synthetic IP-to-location and
+// IP-to-AS database.
+//
+// The paper resolves peer IPs with a commercial GeoIP database and BGP
+// AS data (Figure 12). Neither is available offline, so this package
+// substitutes a synthetic mapping with two properties the experiments
+// need: (1) it is a pure function of the IP, so every component sees
+// consistent answers, and (2) IPs *allocated* by the simnet population
+// generator are drawn so the marginal distributions match the paper's
+// published results (43.2% US, 12.9% CN, ...; top-8 ASes ≈ 44.8%, all
+// cloud providers).
+package geo
+
+import (
+	"net"
+	"sort"
+
+	"repro/internal/crypto/keccak"
+)
+
+// Country is an ISO-3166-like country label.
+type Country string
+
+// AS describes an autonomous system.
+type AS struct {
+	Number uint32
+	Name   string
+	Cloud  bool // cloud hosting provider
+}
+
+// CountryShare is one row of a geographic distribution.
+type CountryShare struct {
+	Country Country
+	Share   float64 // fraction of nodes
+}
+
+// PaperCountryDistribution is Figure 12's country marginal. The tail
+// is aggregated into "OTHER".
+var PaperCountryDistribution = []CountryShare{
+	{"US", 0.432},
+	{"CN", 0.129},
+	{"DE", 0.060},
+	{"RU", 0.044},
+	{"KR", 0.038},
+	{"CA", 0.031},
+	{"GB", 0.029},
+	{"FR", 0.025},
+	{"SG", 0.022},
+	{"NL", 0.019},
+	{"JP", 0.017},
+	{"AU", 0.014},
+	{"OTHER", 0.140},
+}
+
+// ASShare is one row of the AS distribution.
+type ASShare struct {
+	AS    AS
+	Share float64
+}
+
+// PaperASDistribution approximates Figure 12's AS marginal: the top 8
+// ASes hold 44.8% of nodes and are all cloud providers.
+var PaperASDistribution = []ASShare{
+	{AS{16509, "Amazon", true}, 0.132},
+	{AS{45102, "Alibaba", true}, 0.078},
+	{AS{14061, "DigitalOcean", true}, 0.066},
+	{AS{16276, "OVH", true}, 0.055},
+	{AS{24940, "Hetzner", true}, 0.048},
+	{AS{15169, "Google", true}, 0.037},
+	{AS{8075, "Microsoft", true}, 0.020},
+	{AS{20473, "Choopa", true}, 0.016},
+	// Non-cloud remainder: each individual residential/commercial AS
+	// stays below the smallest top-8 cloud share, matching the
+	// paper's finding that the eight largest ASes are all cloud.
+	{AS{7922, "Comcast", false}, 0.012},
+	{AS{4134, "ChinaNet", false}, 0.012},
+	{AS{0, "OTHER", false}, 0.524},
+}
+
+// DB resolves IPs to countries and ASes. The zero value is not
+// usable; call NewDB.
+type DB struct {
+	countries []CountryShare
+	cumC      []float64
+	ases      []ASShare
+	cumA      []float64
+}
+
+// NewDB builds the resolver over the paper distributions.
+func NewDB() *DB {
+	db := &DB{countries: PaperCountryDistribution, ases: PaperASDistribution}
+	var acc float64
+	for _, c := range db.countries {
+		acc += c.Share
+		db.cumC = append(db.cumC, acc)
+	}
+	acc = 0
+	for _, a := range db.ases {
+		acc += a.Share
+		db.cumA = append(db.cumA, acc)
+	}
+	return db
+}
+
+// hashFrac maps an IP (plus salt) to a uniform fraction in [0,1).
+func hashFrac(ip net.IP, salt byte) float64 {
+	h := keccak.Sum256(append(append([]byte{salt}, ip.To16()...), salt))
+	v := uint64(h[0])<<56 | uint64(h[1])<<48 | uint64(h[2])<<40 | uint64(h[3])<<32 |
+		uint64(h[4])<<24 | uint64(h[5])<<16 | uint64(h[6])<<8 | uint64(h[7])
+	return float64(v) / float64(^uint64(0))
+}
+
+// Country resolves an IP's country.
+func (db *DB) Country(ip net.IP) Country {
+	f := hashFrac(ip, 0xC0)
+	i := sort.SearchFloat64s(db.cumC, f)
+	if i >= len(db.countries) {
+		i = len(db.countries) - 1
+	}
+	return db.countries[i].Country
+}
+
+// ASOf resolves an IP's autonomous system.
+func (db *DB) ASOf(ip net.IP) AS {
+	f := hashFrac(ip, 0xA5)
+	i := sort.SearchFloat64s(db.cumA, f)
+	if i >= len(db.ases) {
+		i = len(db.ases) - 1
+	}
+	return db.ases[i].AS
+}
+
+// InCloud reports whether the IP resolves to a cloud-provider AS.
+func (db *DB) InCloud(ip net.IP) bool { return db.ASOf(ip).Cloud }

@@ -1,0 +1,86 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	db := NewDB()
+	ip := net.IPv4(54, 12, 9, 3)
+	if db.Country(ip) != db.Country(ip) {
+		t.Fatal("country not deterministic")
+	}
+	if db.ASOf(ip) != db.ASOf(ip) {
+		t.Fatal("AS not deterministic")
+	}
+}
+
+func TestDistributionShape(t *testing.T) {
+	// Over many uniformly random IPs the marginals must match the
+	// configured shares within sampling error.
+	db := NewDB()
+	rng := rand.New(rand.NewSource(1))
+	const n = 30000
+	countryCount := map[Country]int{}
+	cloud := 0
+	for i := 0; i < n; i++ {
+		ip := net.IPv4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+		countryCount[db.Country(ip)]++
+		if db.InCloud(ip) {
+			cloud++
+		}
+	}
+	usShare := float64(countryCount["US"]) / n
+	if math.Abs(usShare-0.432) > 0.02 {
+		t.Errorf("US share %.3f, want ≈0.432", usShare)
+	}
+	cnShare := float64(countryCount["CN"]) / n
+	if math.Abs(cnShare-0.129) > 0.015 {
+		t.Errorf("CN share %.3f, want ≈0.129", cnShare)
+	}
+	// Top-8 cloud ASes ≈ 44.8% of nodes.
+	cloudShare := float64(cloud) / n
+	if math.Abs(cloudShare-0.448) > 0.02 {
+		t.Errorf("cloud share %.3f, want ≈0.448", cloudShare)
+	}
+}
+
+func TestCountrySharesSumToOne(t *testing.T) {
+	var sum float64
+	for _, c := range PaperCountryDistribution {
+		sum += c.Share
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Errorf("country shares sum to %f", sum)
+	}
+	sum = 0
+	for _, a := range PaperASDistribution {
+		sum += a.Share
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Errorf("AS shares sum to %f", sum)
+	}
+}
+
+func TestIndependentMarginals(t *testing.T) {
+	// Country and AS are hashed with different salts; the same IP
+	// should not use the same fraction for both (check that at least
+	// some IPs land in different quantiles).
+	db := NewDB()
+	diff := 0
+	for i := 0; i < 100; i++ {
+		ip := net.IPv4(10, 0, byte(i), 1)
+		cFrac := hashFrac(ip, 0xC0)
+		aFrac := hashFrac(ip, 0xA5)
+		if math.Abs(cFrac-aFrac) > 0.01 {
+			diff++
+		}
+	}
+	if diff < 90 {
+		t.Errorf("salts appear correlated: only %d/100 differ", diff)
+	}
+	_ = db
+}

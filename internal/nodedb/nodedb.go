@@ -1,0 +1,205 @@
+// Package nodedb is NodeFinder's persistent node database (§4).
+//
+// The paper's crawler stores every address it has dialed together
+// with last-dialed timestamps, so that the StaticNodes list can be
+// regenerated after a restart, and removes addresses whose last
+// successful TCP connection is older than 24 hours. This package
+// implements that store: an in-memory index with optional JSON
+// snapshot persistence.
+package nodedb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/enode"
+)
+
+// Record is the stored state for one node.
+type Record struct {
+	ID  enode.ID `json:"-"`
+	IDx string   `json:"id"` // hex form for JSON
+	IP  net.IP   `json:"ip"`
+	UDP uint16   `json:"udp"`
+	TCP uint16   `json:"tcp"`
+
+	FirstSeen       time.Time `json:"firstSeen"`
+	LastDial        time.Time `json:"lastDial"`
+	LastSuccess     time.Time `json:"lastSuccess"` // last successful TCP connection
+	DialCount       int       `json:"dialCount"`
+	SuccessCount    int       `json:"successCount"`
+	Static          bool      `json:"static"` // member of the StaticNodes list
+	LastDisconnects string    `json:"lastDisconnect,omitempty"`
+}
+
+// Node converts a record back to an enode.Node.
+func (r *Record) Node() *enode.Node { return enode.New(r.ID, r.IP, r.UDP, r.TCP) }
+
+// DB is the node database. Safe for concurrent use.
+type DB struct {
+	mu    sync.RWMutex
+	nodes map[enode.ID]*Record
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{nodes: make(map[enode.ID]*Record)}
+}
+
+// Ensure returns the record for a node, creating it on first sight.
+func (db *DB) Ensure(n *enode.Node, now time.Time) *Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.nodes[n.ID]
+	if !ok {
+		r = &Record{ID: n.ID, IDx: n.ID.String(), FirstSeen: now}
+		db.nodes[n.ID] = r
+	}
+	// Refresh endpoint data.
+	r.IP, r.UDP, r.TCP = n.IP, n.UDP, n.TCP
+	return r
+}
+
+// Get returns the record for an ID, or nil.
+func (db *DB) Get(id enode.ID) *Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nodes[id]
+}
+
+// Len returns the number of known nodes.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.nodes)
+}
+
+// RecordDial notes a dial attempt.
+func (db *DB) RecordDial(n *enode.Node, now time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.nodes[n.ID]
+	if !ok {
+		r = &Record{ID: n.ID, IDx: n.ID.String(), FirstSeen: now, IP: n.IP, UDP: n.UDP, TCP: n.TCP}
+		db.nodes[n.ID] = r
+	}
+	r.LastDial = now
+	r.DialCount++
+}
+
+// RecordSuccess notes a successful TCP connection and promotes the
+// node to the StaticNodes list — the paper's "successful
+// dynamic-dials are automatically added to StaticNodes".
+func (db *DB) RecordSuccess(n *enode.Node, now time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.nodes[n.ID]
+	if !ok {
+		r = &Record{ID: n.ID, IDx: n.ID.String(), FirstSeen: now, IP: n.IP, UDP: n.UDP, TCP: n.TCP}
+		db.nodes[n.ID] = r
+	}
+	r.LastSuccess = now
+	r.SuccessCount++
+	r.Static = true
+}
+
+// StaticNodes returns the current static list, sorted by ID for
+// determinism.
+func (db *DB) StaticNodes() []*enode.Node {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*enode.Node
+	for _, r := range db.nodes {
+		if r.Static {
+			out = append(out, r.Node())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return string(out[i].ID.Bytes()) < string(out[j].ID.Bytes())
+	})
+	return out
+}
+
+// ExpireStale demotes nodes whose last successful connection is older
+// than maxAge (the paper uses 24 hours) and returns how many were
+// removed from the static list.
+func (db *DB) ExpireStale(now time.Time, maxAge time.Duration) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	removed := 0
+	for _, r := range db.nodes {
+		if r.Static && now.Sub(r.LastSuccess) > maxAge {
+			r.Static = false
+			removed++
+		}
+	}
+	return removed
+}
+
+// Save writes a JSON snapshot to path.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	records := make([]*Record, 0, len(db.nodes))
+	for _, r := range db.nodes {
+		records = append(records, r)
+	}
+	db.mu.RUnlock()
+	sort.Slice(records, func(i, j int) bool { return records[i].IDx < records[j].IDx })
+	data, err := json.MarshalIndent(records, "", " ")
+	if err != nil {
+		return fmt.Errorf("nodedb: marshal: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("nodedb: write: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot written by Save, replacing current contents.
+func (db *DB) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("nodedb: read: %w", err)
+	}
+	var records []*Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return fmt.Errorf("nodedb: unmarshal: %w", err)
+	}
+	nodes := make(map[enode.ID]*Record, len(records))
+	for _, r := range records {
+		id, err := enode.HexID(r.IDx)
+		if err != nil {
+			return fmt.Errorf("nodedb: record %q: %w", r.IDx, err)
+		}
+		r.ID = id
+		nodes[id] = r
+	}
+	db.mu.Lock()
+	db.nodes = nodes
+	db.mu.Unlock()
+	return nil
+}
+
+// All returns every record (copies of the pointers; treat as
+// read-only), sorted by first-seen time then ID.
+func (db *DB) All() []*Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Record, 0, len(db.nodes))
+	for _, r := range db.nodes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FirstSeen.Equal(out[j].FirstSeen) {
+			return out[i].FirstSeen.Before(out[j].FirstSeen)
+		}
+		return out[i].IDx < out[j].IDx
+	})
+	return out
+}

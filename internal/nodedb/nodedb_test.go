@@ -1,0 +1,165 @@
+package nodedb
+
+import (
+	"math/rand"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/enode"
+)
+
+var t0 = time.Date(2018, 4, 18, 0, 0, 0, 0, time.UTC)
+
+func node(rng *rand.Rand) *enode.Node {
+	return enode.New(enode.RandomID(rng), net.IPv4(10, 0, byte(rng.Intn(256)), byte(rng.Intn(254)+1)), 30303, 30303)
+}
+
+func TestEnsureAndGet(t *testing.T) {
+	db := New()
+	rng := rand.New(rand.NewSource(1))
+	n := node(rng)
+	r := db.Ensure(n, t0)
+	if r.FirstSeen != t0 {
+		t.Error("first seen wrong")
+	}
+	if db.Get(n.ID) != r || db.Len() != 1 {
+		t.Error("get/len wrong")
+	}
+	// Second ensure refreshes, does not duplicate.
+	r2 := db.Ensure(n, t0.Add(time.Hour))
+	if r2 != r || db.Len() != 1 {
+		t.Error("duplicate record")
+	}
+	if r2.FirstSeen != t0 {
+		t.Error("first seen overwritten")
+	}
+}
+
+func TestDialAndSuccessCounters(t *testing.T) {
+	db := New()
+	rng := rand.New(rand.NewSource(2))
+	n := node(rng)
+	db.RecordDial(n, t0)
+	db.RecordDial(n, t0.Add(time.Minute))
+	db.RecordSuccess(n, t0.Add(time.Minute))
+	r := db.Get(n.ID)
+	if r.DialCount != 2 || r.SuccessCount != 1 {
+		t.Errorf("counters %d/%d", r.DialCount, r.SuccessCount)
+	}
+	if !r.Static {
+		t.Error("success did not promote to static")
+	}
+	if r.LastDial != t0.Add(time.Minute) {
+		t.Error("last dial wrong")
+	}
+}
+
+func TestStaticNodesSortedAndFiltered(t *testing.T) {
+	db := New()
+	rng := rand.New(rand.NewSource(3))
+	var static []*enode.Node
+	for i := 0; i < 20; i++ {
+		n := node(rng)
+		db.RecordDial(n, t0)
+		if i%2 == 0 {
+			db.RecordSuccess(n, t0)
+			static = append(static, n)
+		}
+	}
+	got := db.StaticNodes()
+	if len(got) != len(static) {
+		t.Fatalf("static count %d, want %d", len(got), len(static))
+	}
+	for i := 1; i < len(got); i++ {
+		if string(got[i-1].ID.Bytes()) >= string(got[i].ID.Bytes()) {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestExpireStale(t *testing.T) {
+	db := New()
+	rng := rand.New(rand.NewSource(4))
+	fresh, stale := node(rng), node(rng)
+	db.RecordSuccess(fresh, t0.Add(23*time.Hour))
+	db.RecordSuccess(stale, t0)
+	removed := db.ExpireStale(t0.Add(24*time.Hour+time.Minute), 24*time.Hour)
+	if removed != 1 {
+		t.Fatalf("removed %d", removed)
+	}
+	if db.Get(stale.ID).Static {
+		t.Error("stale still static")
+	}
+	if !db.Get(fresh.ID).Static {
+		t.Error("fresh demoted")
+	}
+	// Record retained for analysis even after demotion.
+	if db.Len() != 2 {
+		t.Error("record dropped")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	rng := rand.New(rand.NewSource(5))
+	var ids []enode.ID
+	for i := 0; i < 10; i++ {
+		n := node(rng)
+		db.RecordDial(n, t0.Add(time.Duration(i)*time.Minute))
+		if i < 5 {
+			db.RecordSuccess(n, t0.Add(time.Hour))
+		}
+		ids = append(ids, n.ID)
+	}
+	path := filepath.Join(t.TempDir(), "nodes.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 10 {
+		t.Fatalf("loaded %d", db2.Len())
+	}
+	for i, id := range ids {
+		r := db2.Get(id)
+		if r == nil {
+			t.Fatalf("missing record %d", i)
+		}
+		if (i < 5) != r.Static {
+			t.Errorf("record %d static=%v", i, r.Static)
+		}
+		if r.ID != id {
+			t.Error("ID not restored")
+		}
+	}
+	// StaticNodes regeneration after restart — the paper's stated
+	// purpose for the database.
+	if len(db2.StaticNodes()) != 5 {
+		t.Errorf("static list %d", len(db2.StaticNodes()))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db := New()
+	if err := db.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	db := New()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 5; i++ {
+		db.Ensure(node(rng), t0.Add(time.Duration(5-i)*time.Hour))
+	}
+	all := db.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].FirstSeen.After(all[i].FirstSeen) {
+			t.Fatal("All not time-ordered")
+		}
+	}
+}

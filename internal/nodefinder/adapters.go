@@ -1,0 +1,159 @@
+package nodefinder
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/devp2p"
+	"repro/internal/discv4"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/rlpx"
+)
+
+// RealDiscovery adapts a discv4.Transport to the Discovery interface.
+type RealDiscovery struct {
+	T *discv4.Transport
+}
+
+// Self implements Discovery.
+func (d RealDiscovery) Self() enode.ID { return d.T.Self() }
+
+// Lookup implements Discovery; the lookup runs on its own goroutine.
+func (d RealDiscovery) Lookup(target enode.ID, done func([]*enode.Node)) {
+	go func() {
+		done(d.T.Lookup(target))
+	}()
+}
+
+// RealDialer performs the paper's connection-establishment chain over
+// real TCP: RLPx handshake, DEVp2p HELLO, eth STATUS, DAO-fork header
+// check, then immediate disconnect.
+type RealDialer struct {
+	Key *secp256k1.PrivateKey
+	// Hello is the HELLO NodeFinder announces. Its ID field is
+	// filled automatically.
+	Hello devp2p.Hello
+	// Status is the eth STATUS NodeFinder announces (it mirrors
+	// Mainnet identity so peers complete the exchange).
+	Status eth.Status
+	// DialTimeout bounds TCP connection establishment (the paper
+	// keeps Geth's 15 s default).
+	DialTimeout time.Duration
+	// CheckDAO controls whether the fork check runs after a
+	// compatible STATUS.
+	CheckDAO bool
+}
+
+// DefaultDialTimeout is Geth's defaultDialTimeout (§4).
+const DefaultDialTimeout = 15 * time.Second
+
+// Dial implements Dialer.
+func (d *RealDialer) Dial(n *enode.Node, kind mlog.ConnType, done func(*DialResult)) {
+	go func() {
+		done(d.dial(n, kind))
+	}()
+}
+
+func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
+	res := &DialResult{Node: n, Kind: kind, Start: time.Now()}
+	timeout := d.DialTimeout
+	if timeout == 0 {
+		timeout = DefaultDialTimeout
+	}
+
+	tcpStart := time.Now()
+	fd, err := net.DialTimeout("tcp", n.TCPAddr().String(), timeout)
+	if err != nil {
+		res.Err = fmt.Errorf("tcp dial: %w", err)
+		res.Duration = time.Since(res.Start)
+		return res
+	}
+	res.RTT = time.Since(tcpStart) // SYN round trip approximates sRTT
+	defer fd.Close()
+
+	conn, err := rlpx.Initiate(fd, d.Key, n.ID)
+	if err != nil {
+		res.Err = fmt.Errorf("rlpx: %w", err)
+		res.Duration = time.Since(res.Start)
+		return res
+	}
+
+	// DEVp2p HELLO exchange.
+	hello := d.Hello
+	hello.ID = enode.PubkeyID(&d.Key.Pub)
+	theirs, err := devp2p.ExchangeHello(conn, &hello)
+	if err != nil {
+		var de devp2p.DisconnectError
+		if errors.As(err, &de) {
+			res.Disconnect = &de.Reason
+		} else {
+			res.Err = err
+		}
+		res.Duration = time.Since(res.Start)
+		return res
+	}
+	res.Hello = theirs
+	// devp2p v5: both sides compress subsequent payloads with snappy.
+	if hello.Version >= devp2p.Version && theirs.Version >= devp2p.Version {
+		conn.SetSnappy(true)
+	}
+
+	// Without a shared eth capability there is nothing more to learn.
+	caps := devp2p.MatchCaps(hello.Caps, theirs.Caps, map[string]uint64{eth.ProtocolName: eth.ProtocolLength})
+	var ethCap *devp2p.NegotiatedCap
+	for i := range caps {
+		if caps[i].Name == eth.ProtocolName {
+			ethCap = &caps[i]
+		}
+	}
+	if ethCap == nil {
+		devp2p.SendDisconnect(conn, devp2p.DiscUselessPeer) //nolint:errcheck
+		res.Duration = time.Since(res.Start)
+		return res
+	}
+
+	// eth STATUS exchange.
+	status := d.Status
+	status.ProtocolVersion = uint32(ethCap.Version)
+	if status.TD == nil {
+		status.TD = new(big.Int)
+	}
+	if err := eth.SendStatus(conn, ethCap.Offset, &status); err != nil {
+		res.Err = err
+		res.Duration = time.Since(res.Start)
+		return res
+	}
+	theirStatus, err := eth.ReadStatus(conn, ethCap.Offset)
+	if err != nil {
+		var de devp2p.DisconnectError
+		if errors.As(err, &de) {
+			res.Disconnect = &de.Reason
+		} else {
+			res.Err = err
+		}
+		res.Duration = time.Since(res.Start)
+		return res
+	}
+	res.Status = theirStatus
+
+	// DAO-fork verification for compatible Mainnet peers.
+	if d.CheckDAO && theirStatus.NetworkID == chain.MainnetNetworkID {
+		support, err := eth.VerifyDAOFork(conn, ethCap.Offset)
+		if err == nil {
+			res.DAOFork = support
+			res.DAOChecked = true
+		}
+	}
+
+	// Done collecting: free the peer slot immediately (§4).
+	devp2p.SendDisconnect(conn, devp2p.DiscRequested) //nolint:errcheck
+	res.Duration = time.Since(res.Start)
+	return res
+}

@@ -1,0 +1,160 @@
+package nodefinder
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/devp2p"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/rlpx"
+	"repro/internal/simclock"
+)
+
+func listenerFixture(t *testing.T) (*Listener, *Finder, *mlog.Collector, *chain.Chain) {
+	t.Helper()
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "listener-main", DAOFork: true, Length: 8})
+	key, err := secp256k1.GenerateKey(rand.New(rand.NewSource(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := mlog.NewCollector()
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 0)
+	f := newTestFinder(t, clock, w, col)
+
+	hello := devp2p.Hello{
+		Version: devp2p.Version,
+		Name:    "NodeFinder/test",
+		Caps:    []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}},
+	}
+	status := eth.Status{ProtocolVersion: uint32(eth.Version63), NetworkID: 1,
+		TD: c.TD(), BestHash: c.GenesisHash(), GenesisHash: c.GenesisHash()}
+	l, err := ListenIncoming("", key, hello, status, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	return l, f, col, c
+}
+
+// inboundClient dials the listener and completes the handshake chain
+// from the peer's side.
+func inboundClient(t *testing.T, l *Listener, name string, caps []devp2p.Cap, c *chain.Chain, sendStatus bool) {
+	t.Helper()
+	key, err := secp256k1.GenerateKey(rand.New(rand.NewSource(501)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := net.DialTimeout("tcp", l.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+	conn, err := rlpx.Initiate(fd, key, l.Hello.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := &devp2p.Hello{
+		Version: devp2p.Version, Name: name, Caps: caps,
+		ID: enode.PubkeyID(&key.Pub),
+	}
+	theirs, err := devp2p.ExchangeHello(conn, hello)
+	if err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if hello.Version >= devp2p.Version && theirs.Version >= devp2p.Version {
+		conn.SetSnappy(true)
+	}
+	if !sendStatus {
+		devp2p.SendDisconnect(conn, devp2p.DiscQuitting) //nolint:errcheck
+		return
+	}
+	offset := devp2p.BaseProtocolLength
+	st := &eth.Status{ProtocolVersion: uint32(eth.Version63), NetworkID: 1,
+		TD: c.TD(), BestHash: c.HeadHash(), GenesisHash: c.GenesisHash()}
+	if err := eth.SendStatus(conn, offset, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eth.ReadStatus(conn, offset); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	// Wait for the listener's polite disconnect.
+	conn.ReadMsg() //nolint:errcheck
+}
+
+func waitIncoming(t *testing.T, f *Finder, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Stats().IncomingConns >= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("incoming count never reached %d (have %d)", want, f.Stats().IncomingConns)
+}
+
+func TestListenerRecordsEthPeer(t *testing.T) {
+	l, f, col, c := listenerFixture(t)
+	inboundClient(t, l, "Geth/v1.8.10-stable/linux", []devp2p.Cap{{Name: "eth", Version: 63}}, c, true)
+	waitIncoming(t, f, 1)
+
+	entries := col.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	e := entries[0]
+	if e.ConnType != mlog.ConnIncoming {
+		t.Error("wrong conn type")
+	}
+	if e.Hello == nil || e.Hello.ClientName != "Geth/v1.8.10-stable/linux" {
+		t.Fatalf("hello: %+v", e.Hello)
+	}
+	if e.Status == nil || e.Status.GenesisHash != c.GenesisHash().Hex() {
+		t.Fatalf("status: %+v", e.Status)
+	}
+	if e.DurationUS <= 0 {
+		t.Error("duration missing")
+	}
+}
+
+func TestListenerRecordsNonEthPeer(t *testing.T) {
+	l, f, col, c := listenerFixture(t)
+	inboundClient(t, l, "swarm/v0.3", []devp2p.Cap{{Name: "bzz", Version: 2}}, c, false)
+	waitIncoming(t, f, 1)
+	e := col.Entries()[0]
+	if e.Hello == nil || e.Hello.ClientName != "swarm/v0.3" {
+		t.Fatalf("hello: %+v", e.Hello)
+	}
+	if e.Status != nil {
+		t.Error("phantom status for bzz-only peer")
+	}
+}
+
+func TestListenerSurvivesGarbage(t *testing.T) {
+	l, f, _, c := listenerFixture(t)
+	// Raw junk: handshake fails, nothing recorded, listener lives.
+	fd, err := net.DialTimeout("tcp", l.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.Write([]byte("definitely not an RLPx auth packet")) //nolint:errcheck
+	fd.Close()
+	time.Sleep(100 * time.Millisecond)
+
+	// A well-formed session still works afterwards.
+	inboundClient(t, l, "Geth/v1.8.11-stable/linux", []devp2p.Cap{{Name: "eth", Version: 63}}, c, true)
+	waitIncoming(t, f, 1)
+}
+
+func TestListenerCloseIdempotent(t *testing.T) {
+	l, _, _, _ := listenerFixture(t)
+	l.Close()
+	l.Close()
+}

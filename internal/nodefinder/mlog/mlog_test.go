@@ -1,0 +1,146 @@
+package mlog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleEntry(i int) *Entry {
+	r := uint64(4)
+	return &Entry{
+		Time:       time.Date(2018, 4, 18, 0, 0, i, 0, time.UTC),
+		NodeID:     "abcd",
+		IP:         "10.0.0.1",
+		Port:       30303,
+		ConnType:   ConnDynamicDial,
+		LatencyUS:  42000,
+		DurationUS: 900000,
+		Hello: &HelloInfo{
+			Version:    5,
+			ClientName: "Geth/v1.8.11-stable/linux-amd64/go1.10",
+			Caps:       []string{"eth/62", "eth/63"},
+			ListenPort: 30303,
+		},
+		Status: &StatusInfo{
+			ProtocolVersion: 63,
+			NetworkID:       1,
+			TD:              "123456",
+			BestHash:        "aa",
+			GenesisHash:     "d4e5",
+			BestBlock:       5500000,
+		},
+		DisconnectReason: &r,
+		DAOFork:          "supported",
+	}
+}
+
+func TestWriterReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		w.Record(sampleEntry(i))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	e := entries[0]
+	if e.Hello.ClientName != "Geth/v1.8.11-stable/linux-amd64/go1.10" {
+		t.Error("client name lost")
+	}
+	if e.Status.NetworkID != 1 || e.Status.BestBlock != 5500000 {
+		t.Error("status lost")
+	}
+	if e.DisconnectReason == nil || *e.DisconnectReason != 4 {
+		t.Error("disconnect lost")
+	}
+	if e.Latency() != 42*time.Millisecond {
+		t.Errorf("latency %v", e.Latency())
+	}
+	if e.Duration() != 900*time.Millisecond {
+		t.Errorf("duration %v", e.Duration())
+	}
+	if !e.Succeeded() {
+		t.Error("succeeded wrong")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	w.Record(sampleEntry(0))
+	w.Flush()
+	f.Close()
+
+	entries, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{not json}\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(sampleEntry(0))
+	w.Flush()
+	buf.WriteString("\n\n")
+	entries, err := Read(&buf)
+	if err != nil || len(entries) != 1 {
+		t.Fatal(err, len(entries))
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Record(sampleEntry(0))
+	c.Record(sampleEntry(1))
+	if c.Len() != 2 {
+		t.Fatal("len")
+	}
+	snap := c.Entries()
+	c.Record(sampleEntry(2))
+	if len(snap) != 2 {
+		t.Fatal("snapshot not stable")
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	tee := Tee{a, b}
+	tee.Record(sampleEntry(0))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("tee did not fan out")
+	}
+}
+
+func TestSucceededFalseWithoutHello(t *testing.T) {
+	e := &Entry{Err: "connection refused"}
+	if e.Succeeded() {
+		t.Fatal("failure counted as success")
+	}
+}

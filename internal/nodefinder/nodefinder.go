@@ -1,0 +1,504 @@
+// Package nodefinder implements the paper's primary contribution:
+// NodeFinder, a measurement crawler for the DEVp2p ecosystem (§4).
+//
+// NodeFinder departs from a normal Ethereum client in four ways:
+//
+//  1. It ignores the maximum peer limit, at both the DEVp2p and
+//     Ethereum layers, so discovery and incoming connections never
+//     stop.
+//  2. It disconnects from peers as soon as peer-connection
+//     establishment is complete: DEVp2p HELLO, Ethereum STATUS, and
+//     the DAO-fork block check — at most three message exchanges.
+//  3. Successful dynamic dials are added to a StaticNodes list and
+//     re-dialed every 30 minutes to track liveness and churn; stale
+//     addresses (no successful TCP connection in 24 h) are removed.
+//  4. Every connection's decoded messages and timing are logged.
+//
+// The crawler is written against two small interfaces — Discovery and
+// Dialer — so the identical scheduling logic runs over the real
+// discv4/RLPx stack (see RealDiscovery/RealDialer) or over the
+// simulated world in internal/simnet, driven by a virtual clock.
+package nodefinder
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/devp2p"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/nodedb"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/simclock"
+)
+
+// Scheduling constants from §4 (Geth 1.7.3 defaults NodeFinder keeps).
+const (
+	DefaultLookupInterval  = 4 * time.Second
+	DefaultStaticInterval  = 30 * time.Minute
+	DefaultMaxDynamicDials = 16
+	DefaultStaleAfter      = 24 * time.Hour
+	// redialSuppression avoids dynamic re-dialing a node too soon
+	// after any dial attempt.
+	redialSuppression = 5 * time.Minute
+)
+
+// Discovery abstracts the RLPx node-discovery service.
+//
+// Lookup MUST NOT invoke done synchronously: real implementations run
+// the lookup on a goroutine; simulated ones schedule done on the
+// virtual clock. This keeps the Finder's state machine re-entrant.
+type Discovery interface {
+	// Self returns the local node ID.
+	Self() enode.ID
+	// Lookup starts an iterative lookup toward target; done is
+	// invoked later (from any goroutine) with the nodes learned.
+	Lookup(target enode.ID, done func(found []*enode.Node))
+}
+
+// Dialer performs the full connection-establishment chain against one
+// node and reports the decoded results. Like Discovery.Lookup, Dial
+// MUST NOT invoke done synchronously.
+type Dialer interface {
+	// Dial starts a connection attempt; done is invoked later (from
+	// any goroutine) with the result.
+	Dial(n *enode.Node, kind mlog.ConnType, done func(*DialResult))
+}
+
+// DialResult is everything one connection attempt yielded.
+type DialResult struct {
+	Node     *enode.Node
+	Kind     mlog.ConnType
+	Start    time.Time
+	Duration time.Duration
+	RTT      time.Duration
+
+	// Err is the transport or handshake error, if any.
+	Err error
+	// Hello is the peer's DEVp2p handshake, when one was received.
+	Hello *devp2p.Hello
+	// Disconnect is set when the peer sent DISCONNECT.
+	Disconnect *devp2p.DisconnectReason
+	// Status is the peer's eth STATUS, when received.
+	Status *eth.Status
+	// BestBlock is the peer's head block number when the transport
+	// could learn it (simulation aid for freshness analysis).
+	BestBlock uint64
+	// DAOFork is the fork-check outcome, when the check ran.
+	DAOFork eth.DAOForkSupport
+	// DAOChecked reports whether the fork check was performed.
+	DAOChecked bool
+}
+
+// Config configures a Finder.
+type Config struct {
+	Clock     simclock.Clock
+	Discovery Discovery
+	Dialer    Dialer
+	DB        *nodedb.DB
+	Log       mlog.Sink
+
+	LookupInterval  time.Duration
+	StaticInterval  time.Duration
+	MaxDynamicDials int
+	StaleAfter      time.Duration
+	Seed            int64
+}
+
+// Stats are cumulative crawler counters, the raw material for
+// Figures 5-8.
+type Stats struct {
+	DiscoveryAttempts uint64
+	DynamicDials      uint64
+	StaticDials       uint64
+	IncomingConns     uint64
+	SuccessfulConns   uint64 // HELLO exchanged
+	FailedConns       uint64
+	StaticListSize    int
+	KnownNodes        int
+}
+
+// Finder is the crawler.
+type Finder struct {
+	cfg   Config
+	clock simclock.Clock
+	rng   *rand.Rand
+
+	mu          sync.Mutex
+	running     bool
+	stopped     bool
+	dialing     map[enode.ID]bool
+	lastDial    map[enode.ID]time.Time
+	staticTimer map[enode.ID]simclock.Timer
+	dynQueue    []*enode.Node
+	dynActive   int
+	stats       Stats
+
+	// onIdle, if set, is called (locked) whenever the dynamic queue
+	// drains; tests use it.
+	onIdle func()
+}
+
+// New validates the config and creates a Finder.
+func New(cfg Config) (*Finder, error) {
+	if cfg.Discovery == nil || cfg.Dialer == nil {
+		return nil, fmt.Errorf("nodefinder: config requires Discovery and Dialer")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.System{}
+	}
+	if cfg.DB == nil {
+		cfg.DB = nodedb.New()
+	}
+	if cfg.Log == nil {
+		cfg.Log = mlog.NewCollector()
+	}
+	if cfg.LookupInterval == 0 {
+		cfg.LookupInterval = DefaultLookupInterval
+	}
+	if cfg.StaticInterval == 0 {
+		cfg.StaticInterval = DefaultStaticInterval
+	}
+	if cfg.MaxDynamicDials == 0 {
+		cfg.MaxDynamicDials = DefaultMaxDynamicDials
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = DefaultStaleAfter
+	}
+	return &Finder{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		dialing:     make(map[enode.ID]bool),
+		lastDial:    make(map[enode.ID]time.Time),
+		staticTimer: make(map[enode.ID]simclock.Timer),
+	}, nil
+}
+
+// DB exposes the node database.
+func (f *Finder) DB() *nodedb.DB { return f.cfg.DB }
+
+// Stats returns a snapshot of the counters.
+func (f *Finder) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.StaticListSize = len(f.cfg.DB.StaticNodes())
+	s.KnownNodes = f.cfg.DB.Len()
+	return s
+}
+
+// Start begins the discovery and maintenance loops.
+func (f *Finder) Start() {
+	f.mu.Lock()
+	if f.running || f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.running = true
+	f.mu.Unlock()
+	f.scheduleLookup(0)
+	f.scheduleStaleSweep()
+}
+
+// Stop halts scheduling. In-flight operations may still complete.
+func (f *Finder) Stop() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stopped = true
+	f.running = false
+	for id, t := range f.staticTimer {
+		t.Stop()
+		delete(f.staticTimer, id)
+	}
+}
+
+// AddStatic seeds the static list directly (bootstrap nodes are added
+// this way, per §4: "Bootstrap nodes are added to the StaticNodes
+// list and periodically re-dialed like any other nodes").
+func (f *Finder) AddStatic(n *enode.Node) {
+	now := f.clock.Now()
+	f.cfg.DB.RecordSuccess(n, now)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armStaticTimerLocked(n, f.cfg.StaticInterval)
+}
+
+// scheduleLookup arms the next discovery round after delay.
+func (f *Finder) scheduleLookup(delay time.Duration) {
+	f.clock.AfterFunc(delay, f.runLookup)
+}
+
+// runLookup performs one discovery round and schedules the next so
+// that rounds start no closer than LookupInterval apart ("based on
+// start time", §4).
+func (f *Finder) runLookup() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stats.DiscoveryAttempts++
+	f.mu.Unlock()
+
+	start := f.clock.Now()
+	target := enode.RandomID(f.rng)
+	f.cfg.Discovery.Lookup(target, func(found []*enode.Node) {
+		f.onLookupDone(start, found)
+	})
+}
+
+func (f *Finder) onLookupDone(start time.Time, found []*enode.Node) {
+	now := f.clock.Now()
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	for _, n := range found {
+		if n.ID == f.cfg.Discovery.Self() {
+			continue
+		}
+		if f.dialing[n.ID] {
+			continue
+		}
+		if last, ok := f.lastDial[n.ID]; ok && now.Sub(last) < redialSuppression {
+			continue
+		}
+		// Static-list members are managed by the static scheduler;
+		// excluding them here mirrors Geth's dial state, and is why
+		// Figure 8 sees mostly static (not dynamic) dials to a
+		// long-known node.
+		if rec := f.cfg.DB.Get(n.ID); rec != nil && rec.Static {
+			continue
+		}
+		f.dynQueue = append(f.dynQueue, n)
+	}
+	launch := f.fillDynamicLocked()
+	f.mu.Unlock()
+	for _, n := range launch {
+		f.dial(n, mlog.ConnDynamicDial)
+	}
+	for _, n := range found {
+		f.cfg.DB.Ensure(n, now)
+	}
+
+	// Next round: LookupInterval after this round STARTED.
+	next := start.Add(f.cfg.LookupInterval)
+	delay := next.Sub(now)
+	if delay < 0 {
+		delay = 0
+	}
+	f.scheduleLookup(delay)
+}
+
+// fillDynamicLocked dequeues dynamic-dial candidates up to the
+// concurrency limit and returns the nodes the caller must launch
+// after releasing f.mu.
+func (f *Finder) fillDynamicLocked() []*enode.Node {
+	var launch []*enode.Node
+	for f.dynActive < f.cfg.MaxDynamicDials && len(f.dynQueue) > 0 {
+		n := f.dynQueue[0]
+		f.dynQueue = f.dynQueue[1:]
+		if f.dialing[n.ID] {
+			continue
+		}
+		now := f.clock.Now()
+		if last, ok := f.lastDial[n.ID]; ok && now.Sub(last) < redialSuppression {
+			continue
+		}
+		f.dialing[n.ID] = true
+		f.lastDial[n.ID] = now
+		f.dynActive++
+		f.stats.DynamicDials++
+		launch = append(launch, n)
+	}
+	if f.dynActive == 0 && len(f.dynQueue) == 0 && f.onIdle != nil {
+		f.onIdle()
+	}
+	return launch
+}
+
+// dial runs one outbound attempt.
+func (f *Finder) dial(n *enode.Node, kind mlog.ConnType) {
+	f.cfg.DB.RecordDial(n, f.clock.Now())
+	f.cfg.Dialer.Dial(n, kind, func(res *DialResult) {
+		f.onDialDone(n, kind, res)
+	})
+}
+
+func (f *Finder) onDialDone(n *enode.Node, kind mlog.ConnType, res *DialResult) {
+	now := f.clock.Now()
+	f.record(res)
+
+	success := res.Hello != nil
+	if success {
+		f.cfg.DB.RecordSuccess(n, now)
+	}
+
+	f.mu.Lock()
+	delete(f.dialing, n.ID)
+	f.lastDial[n.ID] = now
+	if kind == mlog.ConnDynamicDial {
+		f.dynActive--
+	}
+	if success {
+		f.stats.SuccessfulConns++
+	} else {
+		f.stats.FailedConns++
+	}
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	// Any completed outbound attempt re-arms the node's static timer
+	// ("NodeFinder re-schedules next static-dial upon completion of
+	// any type of outbound connection attempt", §5.2) — provided the
+	// node is on the static list.
+	if rec := f.cfg.DB.Get(n.ID); rec != nil && rec.Static {
+		f.armStaticTimerLocked(n, f.cfg.StaticInterval)
+	}
+	var launch []*enode.Node
+	if kind == mlog.ConnDynamicDial {
+		launch = f.fillDynamicLocked()
+	}
+	f.mu.Unlock()
+	for _, next := range launch {
+		f.dial(next, mlog.ConnDynamicDial)
+	}
+}
+
+// armStaticTimerLocked (re)schedules a static re-dial. Caller holds
+// f.mu.
+func (f *Finder) armStaticTimerLocked(n *enode.Node, delay time.Duration) {
+	if t, ok := f.staticTimer[n.ID]; ok {
+		t.Stop()
+	}
+	n = enode.New(n.ID, n.IP, n.UDP, n.TCP)
+	f.staticTimer[n.ID] = f.clock.AfterFunc(delay, func() {
+		f.runStaticDial(n)
+	})
+}
+
+func (f *Finder) runStaticDial(n *enode.Node) {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	rec := f.cfg.DB.Get(n.ID)
+	if rec == nil || !rec.Static {
+		// Dropped from the static list (stale) since scheduling.
+		delete(f.staticTimer, n.ID)
+		f.mu.Unlock()
+		return
+	}
+	if f.dialing[n.ID] {
+		// Already being dialed; re-arm rather than double-dial.
+		f.armStaticTimerLocked(n, f.cfg.StaticInterval)
+		f.mu.Unlock()
+		return
+	}
+	f.dialing[n.ID] = true
+	f.stats.StaticDials++
+	f.mu.Unlock()
+	f.dial(n, mlog.ConnStaticDial)
+}
+
+// scheduleStaleSweep arms the periodic 24-hour staleness sweep.
+func (f *Finder) scheduleStaleSweep() {
+	f.clock.AfterFunc(10*time.Minute, func() {
+		f.mu.Lock()
+		stopped := f.stopped
+		f.mu.Unlock()
+		if stopped {
+			return
+		}
+		f.cfg.DB.ExpireStale(f.clock.Now(), f.cfg.StaleAfter)
+		f.scheduleStaleSweep()
+	})
+}
+
+// HandleIncoming records an inbound connection result (NodeFinder
+// accepts all incoming connections and never sends Too many peers).
+func (f *Finder) HandleIncoming(res *DialResult) {
+	f.mu.Lock()
+	f.stats.IncomingConns++
+	if res.Hello != nil {
+		f.stats.SuccessfulConns++
+	} else {
+		f.stats.FailedConns++
+	}
+	f.mu.Unlock()
+	now := f.clock.Now()
+	if res.Node != nil {
+		f.cfg.DB.Ensure(res.Node, now)
+		if res.Hello != nil {
+			// An inbound peer proved its TCP reachability of us, not
+			// ours of it; record success only for bookkeeping of
+			// liveness, not static membership.
+			rec := f.cfg.DB.Ensure(res.Node, now)
+			rec.LastSuccess = now
+		}
+	}
+	f.record(res)
+}
+
+// record converts a DialResult to a log entry.
+func (f *Finder) record(res *DialResult) {
+	e := &mlog.Entry{
+		Time:       res.Start,
+		ConnType:   res.Kind,
+		LatencyUS:  res.RTT.Microseconds(),
+		DurationUS: res.Duration.Microseconds(),
+	}
+	if res.Node != nil {
+		e.NodeID = res.Node.ID.String()
+		e.IP = res.Node.IP.String()
+		e.Port = res.Node.TCP
+	}
+	if res.Err != nil {
+		e.Err = res.Err.Error()
+	}
+	if res.Hello != nil {
+		caps := make([]string, len(res.Hello.Caps))
+		for i, c := range res.Hello.Caps {
+			caps[i] = c.String()
+		}
+		e.Hello = &mlog.HelloInfo{
+			Version:    res.Hello.Version,
+			ClientName: res.Hello.Name,
+			Caps:       caps,
+			ListenPort: res.Hello.ListenPort,
+		}
+	}
+	if res.Disconnect != nil {
+		r := uint64(*res.Disconnect)
+		e.DisconnectReason = &r
+	}
+	if res.Status != nil {
+		e.Status = &mlog.StatusInfo{
+			ProtocolVersion: res.Status.ProtocolVersion,
+			NetworkID:       res.Status.NetworkID,
+			BestHash:        res.Status.BestHash.Hex(),
+			GenesisHash:     res.Status.GenesisHash.Hex(),
+			BestBlock:       res.BestBlock,
+		}
+		if res.Status.TD != nil {
+			e.Status.TD = res.Status.TD.String()
+		}
+	}
+	if res.DAOChecked {
+		switch res.DAOFork {
+		case eth.DAOForkSupported:
+			e.DAOFork = "supported"
+		case eth.DAOForkOpposed:
+			e.DAOFork = "opposed"
+		default:
+			e.DAOFork = "unknown"
+		}
+	}
+	f.cfg.Log.Record(e)
+}

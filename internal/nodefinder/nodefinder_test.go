@@ -1,0 +1,307 @@
+package nodefinder
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/devp2p"
+	"repro/internal/enode"
+	"repro/internal/nodedb"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2018, 4, 18, 0, 0, 0, 0, time.UTC)
+
+// fakeWorld is a deterministic Discovery+Dialer over a simulated
+// clock: lookups return a rotating subset of a fixed population, and
+// dials succeed after a fixed virtual latency.
+type fakeWorld struct {
+	clock *simclock.Simulated
+	self  enode.ID
+	nodes []*enode.Node
+
+	mu          sync.Mutex
+	lookupCount int
+	dialCount   map[mlog.ConnType]int
+	perNodeDial map[enode.ID]int
+	lookupSize  int
+	dialLatency time.Duration
+	failAll     bool
+}
+
+func newFakeWorld(clock *simclock.Simulated, n int) *fakeWorld {
+	rng := rand.New(rand.NewSource(7))
+	w := &fakeWorld{
+		clock:       clock,
+		self:        enode.RandomID(rng),
+		dialCount:   map[mlog.ConnType]int{},
+		perNodeDial: map[enode.ID]int{},
+		lookupSize:  16,
+		dialLatency: 150 * time.Millisecond,
+	}
+	for i := 0; i < n; i++ {
+		w.nodes = append(w.nodes, enode.New(enode.RandomID(rng), net.IPv4(10, 1, byte(i>>8), byte(i)), 30303, 30303))
+	}
+	return w
+}
+
+func (w *fakeWorld) Self() enode.ID { return w.self }
+
+func (w *fakeWorld) Lookup(target enode.ID, done func([]*enode.Node)) {
+	w.mu.Lock()
+	i := w.lookupCount
+	w.lookupCount++
+	var found []*enode.Node
+	for j := 0; j < w.lookupSize && len(w.nodes) > 0; j++ {
+		found = append(found, w.nodes[(i*w.lookupSize+j)%len(w.nodes)])
+	}
+	w.mu.Unlock()
+	// Lookups take 1 virtual second.
+	w.clock.AfterFunc(time.Second, func() { done(found) })
+}
+
+func (w *fakeWorld) Dial(n *enode.Node, kind mlog.ConnType, done func(*DialResult)) {
+	w.mu.Lock()
+	w.dialCount[kind]++
+	w.perNodeDial[n.ID]++
+	fail := w.failAll
+	w.mu.Unlock()
+	start := w.clock.Now()
+	w.clock.AfterFunc(w.dialLatency, func() {
+		res := &DialResult{Node: n, Kind: kind, Start: start, Duration: w.dialLatency, RTT: 40 * time.Millisecond}
+		if fail {
+			res.Err = fmt.Errorf("connection refused")
+		} else {
+			res.Hello = &devp2p.Hello{Version: 5, Name: "Geth/v1.8.11", Caps: []devp2p.Cap{{Name: "eth", Version: 63}}}
+		}
+		done(res)
+	})
+}
+
+func newTestFinder(t *testing.T, clock *simclock.Simulated, w *fakeWorld, col *mlog.Collector) *Finder {
+	t.Helper()
+	f, err := New(Config{
+		Clock:     clock,
+		Discovery: w,
+		Dialer:    w,
+		DB:        nodedb.New(),
+		Log:       col,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDiscoveryCadence(t *testing.T) {
+	// Lookup rounds must start no closer than LookupInterval apart:
+	// with 4s interval and 1s lookups, one hour holds ≤900 rounds —
+	// and with our timings exactly 900.
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 0) // empty world: no dial activity
+	f := newTestFinder(t, clock, w, mlog.NewCollector())
+	f.Start()
+	clock.Advance(time.Hour)
+	st := f.Stats()
+	if st.DiscoveryAttempts < 890 || st.DiscoveryAttempts > 901 {
+		t.Fatalf("discovery attempts in 1h = %d, want ≈900", st.DiscoveryAttempts)
+	}
+	f.Stop()
+}
+
+func TestDynamicDialsFollowDiscovery(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 300)
+	col := mlog.NewCollector()
+	f := newTestFinder(t, clock, w, col)
+	f.Start()
+	clock.Advance(10 * time.Minute)
+	f.Stop()
+
+	st := f.Stats()
+	if st.DynamicDials == 0 {
+		t.Fatal("no dynamic dials")
+	}
+	if st.SuccessfulConns == 0 {
+		t.Fatal("no successes")
+	}
+	// All 300 nodes should be known and static by now.
+	if st.KnownNodes != 300 {
+		t.Fatalf("known nodes %d", st.KnownNodes)
+	}
+	if st.StaticListSize != 300 {
+		t.Fatalf("static list %d", st.StaticListSize)
+	}
+	// Log entries recorded for every dial.
+	if col.Len() != int(st.DynamicDials+st.StaticDials) {
+		t.Fatalf("log %d entries, dials %d", col.Len(), st.DynamicDials+st.StaticDials)
+	}
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	// With slow dials (longer than the advance window between
+	// checks), active dynamic dials must never exceed 16.
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 500)
+	w.dialLatency = 20 * time.Second
+	f := newTestFinder(t, clock, w, mlog.NewCollector())
+	f.Start()
+	for i := 0; i < 100; i++ {
+		clock.Advance(time.Second)
+		f.mu.Lock()
+		active := f.dynActive
+		f.mu.Unlock()
+		if active > DefaultMaxDynamicDials {
+			t.Fatalf("active dials %d > %d", active, DefaultMaxDynamicDials)
+		}
+	}
+	f.Stop()
+}
+
+func TestStaticRedialInterval(t *testing.T) {
+	// A successfully dialed node must be re-dialed as static roughly
+	// every 30 minutes: ≤48/day to a single node (§5.2 / Figure 8).
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 1)
+	w.lookupSize = 1
+	f := newTestFinder(t, clock, w, mlog.NewCollector())
+	f.Start()
+	clock.Advance(24 * time.Hour)
+	f.Stop()
+
+	w.mu.Lock()
+	perNode := w.perNodeDial[w.nodes[0].ID]
+	statics := w.dialCount[mlog.ConnStaticDial]
+	w.mu.Unlock()
+	if statics == 0 {
+		t.Fatal("no static dials")
+	}
+	// 24h / 30min = 48 maximum static dials.
+	if statics > 48 {
+		t.Fatalf("static dials %d > 48/day", statics)
+	}
+	if statics < 40 {
+		t.Fatalf("static dials %d, want ≈44-48", statics)
+	}
+	if perNode < statics {
+		t.Fatalf("per-node dials %d < statics %d", perNode, statics)
+	}
+}
+
+func TestBootstrapNodesAreStaticDialed(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 0)
+	f := newTestFinder(t, clock, w, mlog.NewCollector())
+	boot := enode.New(enode.RandomID(rand.New(rand.NewSource(9))), net.IPv4(192, 0, 2, 1), 30303, 30303)
+	f.AddStatic(boot)
+	f.Start()
+	clock.Advance(2 * time.Hour)
+	f.Stop()
+	w.mu.Lock()
+	dials := w.perNodeDial[boot.ID]
+	w.mu.Unlock()
+	if dials < 3 || dials > 4 {
+		t.Fatalf("bootstrap static dials in 2h = %d, want 3-4", dials)
+	}
+}
+
+func TestStaleNodesDropOffStaticList(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 10)
+	f := newTestFinder(t, clock, w, mlog.NewCollector())
+	f.Start()
+	clock.Advance(30 * time.Minute) // populate
+	if f.Stats().StaticListSize == 0 {
+		t.Fatal("static list empty after warmup")
+	}
+	// Now all dials fail for >24h: nodes must be expired.
+	w.mu.Lock()
+	w.failAll = true
+	w.mu.Unlock()
+	clock.Advance(26 * time.Hour)
+	if got := f.Stats().StaticListSize; got != 0 {
+		t.Fatalf("static list still has %d entries after 26h of failures", got)
+	}
+	f.Stop()
+}
+
+func TestIncomingConnectionsLogged(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 1)
+	col := mlog.NewCollector()
+	f := newTestFinder(t, clock, w, col)
+	reason := devp2p.DiscTooManyPeers
+	f.HandleIncoming(&DialResult{
+		Node:       w.nodes[0],
+		Kind:       mlog.ConnIncoming,
+		Start:      clock.Now(),
+		Disconnect: &reason,
+	})
+	f.HandleIncoming(&DialResult{
+		Node:  w.nodes[0],
+		Kind:  mlog.ConnIncoming,
+		Start: clock.Now(),
+		Hello: &devp2p.Hello{Name: "Parity/v1.10.3"},
+	})
+	st := f.Stats()
+	if st.IncomingConns != 2 || st.SuccessfulConns != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	entries := col.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	if entries[0].DisconnectReason == nil || *entries[0].DisconnectReason != uint64(devp2p.DiscTooManyPeers) {
+		t.Error("disconnect reason not logged")
+	}
+	if entries[1].Hello == nil || entries[1].Hello.ClientName != "Parity/v1.10.3" {
+		t.Error("hello not logged")
+	}
+}
+
+func TestStopHaltsScheduling(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	w := newFakeWorld(clock, 50)
+	f := newTestFinder(t, clock, w, mlog.NewCollector())
+	f.Start()
+	clock.Advance(time.Minute)
+	f.Stop()
+	before := f.Stats().DiscoveryAttempts
+	clock.Advance(time.Hour)
+	after := f.Stats().DiscoveryAttempts
+	// At most one in-flight round may complete after Stop.
+	if after > before+1 {
+		t.Fatalf("discovery continued after Stop: %d -> %d", before, after)
+	}
+}
+
+func TestDeterministicUnderSimClock(t *testing.T) {
+	run := func() (Stats, int) {
+		clock := simclock.NewSimulated(t0)
+		w := newFakeWorld(clock, 120)
+		col := mlog.NewCollector()
+		f := newTestFinder(t, clock, w, col)
+		f.Start()
+		clock.Advance(20 * time.Minute)
+		f.Stop()
+		return f.Stats(), col.Len()
+	}
+	s1, n1 := run()
+	s2, n2 := run()
+	if s1.DynamicDials != s2.DynamicDials || s1.StaticDials != s2.StaticDials ||
+		s1.DiscoveryAttempts != s2.DiscoveryAttempts || n1 != n2 {
+		t.Fatalf("nondeterministic: %+v/%d vs %+v/%d", s1, n1, s2, n2)
+	}
+}

@@ -1,0 +1,811 @@
+package rlp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"reflect"
+)
+
+// Decoder is implemented by types that want custom RLP decoding.
+type Decoder interface {
+	// DecodeRLP reads one value from the stream into the receiver.
+	DecodeRLP(*Stream) error
+}
+
+var decoderType = reflect.TypeOf((*Decoder)(nil)).Elem()
+
+// Decode parses RLP-encoded data from r and stores the result in the
+// value pointed to by v. v must be a non-nil pointer.
+func Decode(r io.Reader, v any) error {
+	s := NewStream(r, 0)
+	return s.Decode(v)
+}
+
+// DecodeBytes parses RLP data from b into v. Input must contain
+// exactly one value and no trailing data.
+func DecodeBytes(b []byte, v any) error {
+	s := NewStream(bytes.NewReader(b), uint64(len(b)))
+	if err := s.Decode(v); err != nil {
+		return err
+	}
+	if s.remaining() > 0 {
+		return ErrMoreThanOneValue
+	}
+	return nil
+}
+
+// Stream is a streaming RLP decoder with explicit list handling. A
+// Stream is not safe for concurrent use.
+type Stream struct {
+	r io.Reader
+
+	pos            uint64 // total bytes consumed from r
+	remainingBytes uint64 // bytes left in the input, if limited
+	limited        bool
+
+	// Header state for the value at the front of the stream.
+	kind    Kind
+	size    uint64
+	kindErr error
+	haveHdr bool
+	byteval byte // value of a Byte-kind item
+
+	// Stack of enclosing lists; each entry is the absolute stream
+	// position at which that list's payload ends.
+	stack []uint64
+}
+
+// NewStream creates a new decoding stream reading from r. If
+// inputLimit is greater than zero, the stream refuses to read values
+// larger than the limit; pass the input length when decoding from a
+// byte slice.
+func NewStream(r io.Reader, inputLimit uint64) *Stream {
+	s := new(Stream)
+	s.Reset(r, inputLimit)
+	return s
+}
+
+// Reset discards all stream state and starts reading from r.
+func (s *Stream) Reset(r io.Reader, inputLimit uint64) {
+	*s = Stream{r: r}
+	if inputLimit > 0 {
+		s.limited = true
+		s.remainingBytes = inputLimit
+	} else if br, ok := r.(*bytes.Reader); ok {
+		s.limited = true
+		s.remainingBytes = uint64(br.Len())
+	} else if _, ok := r.(*bufio.Reader); ok {
+		// Unlimited buffered reader: fine as-is.
+	}
+}
+
+func (s *Stream) remaining() uint64 {
+	if !s.limited {
+		return ^uint64(0)
+	}
+	return s.remainingBytes
+}
+
+// Kind returns the kind and size of the next value in the stream.
+// The size is the payload size and does not include the header.
+func (s *Stream) Kind() (Kind, uint64, error) {
+	if s.haveHdr {
+		return s.kind, s.size, s.kindErr
+	}
+	// If inside a list and the list is exhausted, signal EOL.
+	if len(s.stack) > 0 && s.pos >= s.stack[len(s.stack)-1] {
+		return 0, 0, EOL
+	}
+	kind, size, err := s.readKind()
+	s.kind, s.size, s.kindErr, s.haveHdr = kind, size, err, true
+	if err == nil && len(s.stack) > 0 {
+		// The header bytes already advanced pos; verify the payload
+		// fits the enclosing list.
+		if s.pos+size > s.stack[len(s.stack)-1] {
+			s.kindErr = ErrElemTooLarge
+			return s.kind, s.size, s.kindErr
+		}
+	}
+	if err == nil && s.limited && size > s.remainingBytes {
+		s.kindErr = ErrValueTooLarge
+		return s.kind, s.size, s.kindErr
+	}
+	return s.kind, s.size, s.kindErr
+}
+
+func (s *Stream) readKind() (Kind, uint64, error) {
+	b, err := s.readByte()
+	if err != nil {
+		if len(s.stack) == 0 {
+			// At top level, end of input is a clean io.EOF; an
+			// exhausted limit means the same thing.
+			if err == io.ErrUnexpectedEOF || (err == ErrValueTooLarge && s.remainingBytes == 0) {
+				err = io.EOF
+			}
+		}
+		return 0, 0, err
+	}
+	switch {
+	case b < 0x80:
+		s.byteval = b
+		return Byte, 0, nil
+	case b < 0xB8:
+		return String, uint64(b - 0x80), nil
+	case b < 0xC0:
+		size, err := s.readSize(b - 0xB7)
+		if err != nil {
+			return 0, 0, err
+		}
+		if size < 56 {
+			return 0, 0, ErrCanonSize
+		}
+		return String, size, nil
+	case b < 0xF8:
+		return List, uint64(b - 0xC0), nil
+	default:
+		size, err := s.readSize(b - 0xF7)
+		if err != nil {
+			return 0, 0, err
+		}
+		if size < 56 {
+			return 0, 0, ErrCanonSize
+		}
+		return List, size, nil
+	}
+}
+
+// readSize reads an n-byte big-endian size, enforcing canonical form.
+func (s *Stream) readSize(n byte) (uint64, error) {
+	if n > 8 {
+		return 0, ErrCanonSize
+	}
+	var buf [8]byte
+	if err := s.readFull(buf[8-n:]); err != nil {
+		return 0, err
+	}
+	if buf[8-n] == 0 {
+		return 0, ErrCanonSize
+	}
+	var size uint64
+	for _, c := range buf {
+		size = size<<8 | uint64(c)
+	}
+	return size, nil
+}
+
+func (s *Stream) readByte() (byte, error) {
+	var buf [1]byte
+	if err := s.readFull(buf[:]); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+func (s *Stream) readFull(buf []byte) error {
+	if err := s.willRead(uint64(len(buf))); err != nil {
+		return err
+	}
+	n, err := io.ReadFull(s.r, buf)
+	if err == io.EOF {
+		if n < len(buf) {
+			err = io.ErrUnexpectedEOF
+		} else {
+			err = nil
+		}
+	}
+	return err
+}
+
+// willRead accounts for n upcoming bytes against the list stack and
+// the input limit.
+func (s *Stream) willRead(n uint64) error {
+	s.haveHdr = false
+	if len(s.stack) > 0 {
+		if s.pos+n > s.stack[len(s.stack)-1] {
+			return ErrElemTooLarge
+		}
+	}
+	if s.limited {
+		if n > s.remainingBytes {
+			return ErrValueTooLarge
+		}
+		s.remainingBytes -= n
+	}
+	s.pos += n
+	return nil
+}
+
+// Bytes reads a byte string and returns its contents.
+func (s *Stream) Bytes() ([]byte, error) {
+	kind, size, err := s.Kind()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case Byte:
+		s.haveHdr = false
+		return []byte{s.byteval}, nil
+	case String:
+		b := make([]byte, size)
+		if err := s.readFull(b); err != nil {
+			return nil, err
+		}
+		if size == 1 && b[0] < 0x80 {
+			return nil, ErrCanonSize
+		}
+		return b, nil
+	default:
+		return nil, ErrExpectedString
+	}
+}
+
+// ReadBytes reads a byte string into the provided buffer, which must
+// exactly match the value size.
+func (s *Stream) ReadBytes(buf []byte) error {
+	kind, size, err := s.Kind()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case Byte:
+		if len(buf) != 1 {
+			return fmt.Errorf("rlp: byte string of length 1, want %d", len(buf))
+		}
+		s.haveHdr = false
+		buf[0] = s.byteval
+		return nil
+	case String:
+		if uint64(len(buf)) != size {
+			return fmt.Errorf("rlp: byte string of length %d, want %d", size, len(buf))
+		}
+		if err := s.readFull(buf); err != nil {
+			return err
+		}
+		if size == 1 && buf[0] < 0x80 {
+			return ErrCanonSize
+		}
+		return nil
+	default:
+		return ErrExpectedString
+	}
+}
+
+// Raw reads one full value (header included) and returns it verbatim.
+func (s *Stream) Raw() ([]byte, error) {
+	kind, size, err := s.Kind()
+	if err != nil {
+		return nil, err
+	}
+	if kind == Byte {
+		s.haveHdr = false
+		return []byte{s.byteval}, nil
+	}
+	// Re-synthesize the header, then copy the payload through.
+	head := make([]byte, 0, 9)
+	base := byte(0x80)
+	if kind == List {
+		base = 0xC0
+	}
+	if size < 56 {
+		head = append(head, base+byte(size))
+	} else {
+		var tmp [8]byte
+		n := putInt(tmp[:], size)
+		head = append(head, base+55+byte(n))
+		head = append(head, tmp[:n]...)
+	}
+	payload := make([]byte, size)
+	if err := s.readFull(payload); err != nil {
+		return nil, err
+	}
+	return append(head, payload...), nil
+}
+
+// Uint64 reads an integer value of at most 8 bytes.
+func (s *Stream) Uint64() (uint64, error) { return s.uint(64) }
+
+// Uint32 reads an integer value of at most 4 bytes.
+func (s *Stream) Uint32() (uint32, error) {
+	v, err := s.uint(32)
+	return uint32(v), err
+}
+
+// Uint16 reads an integer value of at most 2 bytes.
+func (s *Stream) Uint16() (uint16, error) {
+	v, err := s.uint(16)
+	return uint16(v), err
+}
+
+// Uint8 reads an integer value of at most 1 byte.
+func (s *Stream) Uint8() (uint8, error) {
+	v, err := s.uint(8)
+	return uint8(v), err
+}
+
+func (s *Stream) uint(maxbits int) (uint64, error) {
+	kind, size, err := s.Kind()
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case Byte:
+		if s.byteval == 0 {
+			return 0, ErrCanonInt
+		}
+		s.haveHdr = false
+		return uint64(s.byteval), nil
+	case String:
+		if size > uint64(maxbits/8) {
+			return 0, ErrUintOverflow
+		}
+		b := make([]byte, size)
+		if err := s.readFull(b); err != nil {
+			return 0, err
+		}
+		v, err := readInt(b)
+		if err != nil {
+			return 0, err
+		}
+		if size == 1 && v < 0x80 {
+			return 0, ErrCanonSize
+		}
+		return v, nil
+	default:
+		return 0, ErrExpectedString
+	}
+}
+
+// Bool reads a boolean (encoded as integer 0 or 1).
+func (s *Stream) Bool() (bool, error) {
+	v, err := s.uint(8)
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("rlp: invalid boolean value %d", v)
+	}
+}
+
+// BigInt reads an arbitrary-size unsigned integer.
+func (s *Stream) BigInt() (*big.Int, error) {
+	b, err := s.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > 0 && b[0] == 0 {
+		return nil, ErrCanonInt
+	}
+	return new(big.Int).SetBytes(b), nil
+}
+
+// List begins decoding a list. Subsequent reads return the list
+// elements; EOL signals the end. ListEnd must be called to leave the
+// list. The returned size is the payload size in bytes.
+func (s *Stream) List() (uint64, error) {
+	kind, size, err := s.Kind()
+	if err != nil {
+		return 0, err
+	}
+	if kind != List {
+		return 0, ErrExpectedList
+	}
+	s.haveHdr = false
+	s.stack = append(s.stack, s.pos+size)
+	return size, nil
+}
+
+// ListEnd leaves the innermost list, discarding nothing; all elements
+// must already have been consumed.
+func (s *Stream) ListEnd() error {
+	if len(s.stack) == 0 {
+		return errors.New("rlp: ListEnd called outside of a list")
+	}
+	if s.pos < s.stack[len(s.stack)-1] {
+		return errors.New("rlp: ListEnd with unconsumed list elements")
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	s.haveHdr = false
+	return nil
+}
+
+// Skip discards the next value, including all nested content.
+func (s *Stream) Skip() error {
+	kind, size, err := s.Kind()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case Byte:
+		s.haveHdr = false
+		return nil
+	case String:
+		return s.discard(size)
+	default:
+		// Consume the entire list payload as raw bytes.
+		s.haveHdr = false
+		s.stack = append(s.stack, s.pos+size)
+		if err := s.discard(size); err != nil {
+			return err
+		}
+		return s.ListEnd()
+	}
+}
+
+func (s *Stream) discard(n uint64) error {
+	if err := s.willRead(n); err != nil {
+		return err
+	}
+	_, err := io.CopyN(io.Discard, s.r, int64(n))
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// MoreDataInList reports whether the current innermost list has
+// unconsumed elements.
+func (s *Stream) MoreDataInList() bool {
+	return len(s.stack) > 0 && s.pos < s.stack[len(s.stack)-1]
+}
+
+// Decode reads the next value from the stream into v, which must be a
+// non-nil pointer.
+func (s *Stream) Decode(v any) error {
+	if v == nil {
+		return errors.New("rlp: Decode target is nil")
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer {
+		return fmt.Errorf("rlp: Decode target must be a pointer, got %T", v)
+	}
+	if rv.IsNil() {
+		return errors.New("rlp: Decode target is a nil pointer")
+	}
+	return s.decodeValue(rv.Elem())
+}
+
+const maxDecodeDepth = 1024
+
+func (s *Stream) decodeValue(v reflect.Value) error {
+	if len(s.stack) > maxDecodeDepth {
+		return fmt.Errorf("rlp: decode nesting exceeds %d levels", maxDecodeDepth)
+	}
+	typ := v.Type()
+
+	if typ == rawValueType {
+		raw, err := s.Raw()
+		if err != nil {
+			return err
+		}
+		v.SetBytes(raw)
+		return nil
+	}
+	if reflect.PointerTo(typ).Implements(decoderType) {
+		return v.Addr().Interface().(Decoder).DecodeRLP(s)
+	}
+	if typ == bigIntType {
+		i, err := s.BigInt()
+		if err != nil {
+			return wrapTypeError(err, typ)
+		}
+		v.Set(reflect.ValueOf(i))
+		return nil
+	}
+	if typ.Kind() != reflect.Pointer && reflect.PointerTo(typ) == bigIntType {
+		i, err := s.BigInt()
+		if err != nil {
+			return wrapTypeError(err, typ)
+		}
+		v.Set(reflect.ValueOf(*i))
+		return nil
+	}
+
+	switch typ.Kind() {
+	case reflect.Bool:
+		b, err := s.Bool()
+		if err != nil {
+			return wrapTypeError(err, typ)
+		}
+		v.SetBool(b)
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		i, err := s.uint(typ.Bits())
+		if err != nil {
+			return wrapTypeError(err, typ)
+		}
+		v.SetUint(i)
+		return nil
+	case reflect.String:
+		b, err := s.Bytes()
+		if err != nil {
+			return wrapTypeError(err, typ)
+		}
+		v.SetString(string(b))
+		return nil
+	case reflect.Slice:
+		if typ.Elem().Kind() == reflect.Uint8 {
+			b, err := s.Bytes()
+			if err != nil {
+				return wrapTypeError(err, typ)
+			}
+			v.SetBytes(b)
+			return nil
+		}
+		return s.decodeSlice(v)
+	case reflect.Array:
+		if isByteArray(typ) {
+			if !v.CanAddr() {
+				return fmt.Errorf("rlp: cannot decode into unaddressable array of type %v", typ)
+			}
+			err := s.ReadBytes(v.Slice(0, v.Len()).Bytes())
+			return wrapTypeError(err, typ)
+		}
+		return s.decodeArray(v)
+	case reflect.Struct:
+		return s.decodeStruct(v)
+	case reflect.Pointer:
+		return s.decodePointer(v)
+	case reflect.Interface:
+		if typ.NumMethod() != 0 {
+			return fmt.Errorf("rlp: cannot decode into non-empty interface %v", typ)
+		}
+		return s.decodeInterface(v)
+	default:
+		return fmt.Errorf("rlp: type %v is not RLP-deserializable", typ)
+	}
+}
+
+func (s *Stream) decodeSlice(v reflect.Value) error {
+	if _, err := s.List(); err != nil {
+		return wrapTypeError(err, v.Type())
+	}
+	out := reflect.MakeSlice(v.Type(), 0, 4)
+	for i := 0; ; i++ {
+		elem := reflect.New(v.Type().Elem()).Elem()
+		err := s.decodeValue(elem)
+		if err == EOL {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		out = reflect.Append(out, elem)
+	}
+	v.Set(out)
+	return s.ListEnd()
+}
+
+func (s *Stream) decodeArray(v reflect.Value) error {
+	if _, err := s.List(); err != nil {
+		return wrapTypeError(err, v.Type())
+	}
+	i := 0
+	for ; i < v.Len(); i++ {
+		err := s.decodeValue(v.Index(i))
+		if err == EOL {
+			return fmt.Errorf("rlp: list has %d elements, want %d for %v", i, v.Len(), v.Type())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Array full: list must end now.
+	if _, _, err := s.Kind(); err != EOL {
+		return fmt.Errorf("rlp: list has more than %d elements for %v", v.Len(), v.Type())
+	}
+	return s.ListEnd()
+}
+
+func (s *Stream) decodeStruct(v reflect.Value) error {
+	fields, err := structFields(v.Type())
+	if err != nil {
+		return err
+	}
+	if _, err := s.List(); err != nil {
+		return wrapTypeError(err, v.Type())
+	}
+	for _, f := range fields {
+		fv := v.Field(f.index)
+		if f.tail {
+			// Collect remaining elements into the tail slice.
+			out := reflect.MakeSlice(fv.Type(), 0, 4)
+			for {
+				elem := reflect.New(fv.Type().Elem()).Elem()
+				err := s.decodeValue(elem)
+				if err == EOL {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				out = reflect.Append(out, elem)
+			}
+			fv.Set(out)
+			continue
+		}
+		err := s.decodeValue(fv)
+		if err == EOL {
+			if f.optional {
+				// Remaining optional fields keep their zero values.
+				break
+			}
+			return fmt.Errorf("rlp: too few elements for %v (missing %s)", v.Type(), f.name)
+		}
+		if err != nil {
+			return fmt.Errorf("rlp: field %s.%s: %w", v.Type(), f.name, err)
+		}
+	}
+	if s.MoreDataInList() {
+		return fmt.Errorf("rlp: input list has too many elements for %v", v.Type())
+	}
+	return s.ListEnd()
+}
+
+func (s *Stream) decodePointer(v reflect.Value) error {
+	// A nil value decodes into a nil pointer when the input is the
+	// empty string/list; otherwise allocate and decode into it.
+	kind, size, err := s.Kind()
+	if err != nil {
+		return wrapTypeError(err, v.Type())
+	}
+	if size == 0 && kind != Byte {
+		// Consume the empty value and leave/make the pointer nil.
+		s.haveHdr = false
+		if kind == List {
+			s.stack = append(s.stack, s.pos)
+			if err := s.ListEnd(); err != nil {
+				return err
+			}
+		}
+		v.Set(reflect.Zero(v.Type()))
+		return nil
+	}
+	if v.IsNil() {
+		v.Set(reflect.New(v.Type().Elem()))
+	}
+	return s.decodeValue(v.Elem())
+}
+
+// decodeInterface fills an empty interface with []byte for strings
+// and []any for lists.
+func (s *Stream) decodeInterface(v reflect.Value) error {
+	kind, _, err := s.Kind()
+	if err != nil {
+		return err
+	}
+	if kind == List {
+		if _, err := s.List(); err != nil {
+			return err
+		}
+		vals := []any{}
+		for {
+			var elem any
+			ev := reflect.ValueOf(&elem).Elem()
+			err := s.decodeInterface(ev)
+			if err == EOL {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			vals = append(vals, elem)
+		}
+		if err := s.ListEnd(); err != nil {
+			return err
+		}
+		v.Set(reflect.ValueOf(vals))
+		return nil
+	}
+	b, err := s.Bytes()
+	if err != nil {
+		return err
+	}
+	v.Set(reflect.ValueOf(b))
+	return nil
+}
+
+// CountValues returns the number of top-level values in b.
+func CountValues(b []byte) (int, error) {
+	count := 0
+	for len(b) > 0 {
+		_, tagsize, size, err := readHead(b)
+		if err != nil {
+			return 0, err
+		}
+		total := tagsize + size
+		if total > uint64(len(b)) {
+			return 0, ErrValueTooLarge
+		}
+		b = b[total:]
+		count++
+	}
+	return count, nil
+}
+
+// SplitList splits b into the payload of a list and any remaining
+// trailing bytes.
+func SplitList(b []byte) (content, rest []byte, err error) {
+	kind, tagsize, size, err := readHead(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != List {
+		return nil, nil, ErrExpectedList
+	}
+	if tagsize+size > uint64(len(b)) {
+		return nil, nil, ErrValueTooLarge
+	}
+	return b[tagsize : tagsize+size], b[tagsize+size:], nil
+}
+
+// SplitString splits b into the payload of a string and remaining
+// trailing bytes.
+func SplitString(b []byte) (content, rest []byte, err error) {
+	kind, tagsize, size, err := readHead(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind == List {
+		return nil, nil, ErrExpectedString
+	}
+	if kind == Byte {
+		return b[:1], b[1:], nil
+	}
+	if tagsize+size > uint64(len(b)) {
+		return nil, nil, ErrValueTooLarge
+	}
+	return b[tagsize : tagsize+size], b[tagsize+size:], nil
+}
+
+// readHead parses the header at the start of b.
+func readHead(b []byte) (kind Kind, tagsize, size uint64, err error) {
+	if len(b) == 0 {
+		return 0, 0, 0, io.ErrUnexpectedEOF
+	}
+	tag := b[0]
+	switch {
+	case tag < 0x80:
+		return Byte, 0, 1, nil
+	case tag < 0xB8:
+		return String, 1, uint64(tag - 0x80), nil
+	case tag < 0xC0:
+		n := uint64(tag - 0xB7)
+		size, err = parseSize(b[1:], n)
+		return String, 1 + n, size, err
+	case tag < 0xF8:
+		return List, 1, uint64(tag - 0xC0), nil
+	default:
+		n := uint64(tag - 0xF7)
+		size, err = parseSize(b[1:], n)
+		return List, 1 + n, size, err
+	}
+}
+
+func parseSize(b []byte, n uint64) (uint64, error) {
+	if uint64(len(b)) < n {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if n > 8 {
+		return 0, ErrCanonSize
+	}
+	if b[0] == 0 {
+		return 0, ErrCanonSize
+	}
+	var size uint64
+	for i := uint64(0); i < n; i++ {
+		size = size<<8 | uint64(b[i])
+	}
+	if size < 56 {
+		return 0, ErrCanonSize
+	}
+	return size, nil
+}

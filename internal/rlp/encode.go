@@ -1,0 +1,352 @@
+package rlp
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"reflect"
+)
+
+// Encoder is implemented by types that want custom RLP encoding.
+type Encoder interface {
+	// EncodeRLP writes the RLP encoding of the receiver to w.
+	EncodeRLP(w io.Writer) error
+}
+
+var encoderType = reflect.TypeOf((*Encoder)(nil)).Elem()
+
+// Encode writes the RLP encoding of v to w.
+func Encode(w io.Writer, v any) error {
+	buf := newEncBuffer()
+	if err := buf.encode(reflect.ValueOf(v)); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.finish())
+	return err
+}
+
+// EncodeToBytes returns the RLP encoding of v.
+func EncodeToBytes(v any) ([]byte, error) {
+	buf := newEncBuffer()
+	if err := buf.encode(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return buf.finish(), nil
+}
+
+// AppendUint appends the RLP encoding of i to b. It is a fast path
+// for protocol code that frames integer message codes.
+func AppendUint(b []byte, i uint64) []byte {
+	if i == 0 {
+		return append(b, 0x80)
+	}
+	if i < 0x80 {
+		return append(b, byte(i))
+	}
+	var tmp [9]byte
+	n := putInt(tmp[1:], i)
+	tmp[0] = 0x80 + byte(n)
+	return append(b, tmp[:n+1]...)
+}
+
+// IntSize returns the encoded size of the integer i, including the
+// RLP string header.
+func IntSize(i uint64) int {
+	if i < 0x80 {
+		return 1 // includes zero, which encodes as the 1-byte 0x80
+	}
+	return 1 + intSize(i)
+}
+
+// listHead marks a pending list whose payload length is unknown until
+// the list is closed.
+type listHead struct {
+	offset int // index into encBuffer.str where the list payload starts
+	size   int // total size of encoded payload, including nested headers
+}
+
+// encBuffer accumulates string data and pending list headers; headers
+// are materialized in finish once all payload sizes are known. This
+// is the single-pass strategy used by the canonical implementation.
+type encBuffer struct {
+	str     []byte     // string data, excluding list headers
+	lheads  []listHead // all list headers, in order of appearance
+	lhsize  int        // sum of encoded sizes of all list headers
+	depth   int        // current nesting depth during encoding
+	pending []int      // indexes into lheads of currently open lists
+}
+
+func newEncBuffer() *encBuffer { return &encBuffer{} }
+
+func (buf *encBuffer) size() int { return len(buf.str) + buf.lhsize }
+
+// headerSize returns the encoded size of a string/list header for a
+// payload of the given size.
+func headerSize(payload int) int {
+	if payload < 56 {
+		return 1
+	}
+	return 1 + intSize(uint64(payload))
+}
+
+func (buf *encBuffer) writeByte(b byte) { buf.str = append(buf.str, b) }
+
+func (buf *encBuffer) write(b []byte) { buf.str = append(buf.str, b...) }
+
+// writeString writes an RLP string header followed by the payload.
+func (buf *encBuffer) writeString(b []byte) {
+	if len(b) == 1 && b[0] < 0x80 {
+		buf.writeByte(b[0])
+		return
+	}
+	buf.writeHead(0x80, len(b))
+	buf.write(b)
+}
+
+// writeHead emits a header with the given base tag (0x80 strings,
+// 0xC0 lists) for a payload of the given size.
+func (buf *encBuffer) writeHead(base byte, size int) {
+	if size < 56 {
+		buf.writeByte(base + byte(size))
+		return
+	}
+	var tmp [9]byte
+	n := putInt(tmp[1:], uint64(size))
+	tmp[0] = base + 55 + byte(n)
+	buf.write(tmp[:n+1])
+}
+
+func (buf *encBuffer) writeUint(i uint64) {
+	if i < 0x80 {
+		// Single byte below 0x80 encodes as itself; zero encodes as
+		// the empty string 0x80.
+		if i == 0 {
+			buf.writeByte(0x80)
+		} else {
+			buf.writeByte(byte(i))
+		}
+		return
+	}
+	var tmp [8]byte
+	n := putInt(tmp[:], i)
+	buf.writeHead(0x80, n)
+	buf.write(tmp[:n])
+}
+
+func (buf *encBuffer) writeBigInt(i *big.Int) error {
+	if i == nil {
+		buf.writeByte(0x80)
+		return nil
+	}
+	if i.Sign() < 0 {
+		return ErrNegativeBigInt
+	}
+	if i.BitLen() <= 64 {
+		buf.writeUint(i.Uint64())
+		return nil
+	}
+	b := i.Bytes()
+	buf.writeHead(0x80, len(b))
+	buf.write(b)
+	return nil
+}
+
+// listStart opens a new list and returns its index for listEnd.
+func (buf *encBuffer) listStart() int {
+	buf.lheads = append(buf.lheads, listHead{offset: len(buf.str), size: buf.lhsize})
+	return len(buf.lheads) - 1
+}
+
+// listEnd closes the list opened at index idx, computing its payload
+// size (string bytes plus nested header bytes added since listStart).
+func (buf *encBuffer) listEnd(idx int) {
+	h := &buf.lheads[idx]
+	h.size = buf.size() - h.offset - h.size
+	buf.lhsize += headerSize(h.size)
+}
+
+// finish interleaves the accumulated string data with the
+// materialized list headers.
+func (buf *encBuffer) finish() []byte {
+	out := make([]byte, 0, buf.size())
+	strpos := 0
+	for _, h := range buf.lheads {
+		out = append(out, buf.str[strpos:h.offset]...)
+		strpos = h.offset
+		if h.size < 56 {
+			out = append(out, 0xC0+byte(h.size))
+		} else {
+			var tmp [9]byte
+			n := putInt(tmp[1:], uint64(h.size))
+			tmp[0] = 0xC0 + 55 + byte(n)
+			out = append(out, tmp[:n+1]...)
+		}
+	}
+	return append(out, buf.str[strpos:]...)
+}
+
+const maxEncodeDepth = 1024
+
+func (buf *encBuffer) encode(v reflect.Value) error {
+	if buf.depth > maxEncodeDepth {
+		return fmt.Errorf("rlp: encode nesting exceeds %d levels", maxEncodeDepth)
+	}
+	if !v.IsValid() {
+		return fmt.Errorf("rlp: cannot encode nil interface value")
+	}
+	typ := v.Type()
+
+	// Custom encoders and special types first.
+	if typ == rawValueType {
+		buf.write(v.Bytes())
+		return nil
+	}
+	if typ.Implements(encoderType) {
+		if typ.Kind() == reflect.Pointer && v.IsNil() {
+			buf.writeByte(0xC0)
+			return nil
+		}
+		// EncodeRLP writes fully-encoded bytes; capture them and
+		// splice verbatim.
+		w := &encWriter{}
+		if err := v.Interface().(Encoder).EncodeRLP(w); err != nil {
+			return err
+		}
+		buf.write(w.data)
+		return nil
+	}
+	if !typ.Implements(encoderType) && typ.Kind() != reflect.Pointer &&
+		reflect.PointerTo(typ).Implements(encoderType) && typ != bigIntType.Elem() {
+		// Pointer-receiver Encoder used for a value: take the address
+		// (copying if unaddressable) so EncodeRLP applies.
+		cp := reflect.New(typ)
+		cp.Elem().Set(v)
+		return buf.encode(cp)
+	}
+	if typ == bigIntType {
+		return buf.writeBigInt(v.Interface().(*big.Int))
+	}
+	if typ.Kind() != reflect.Pointer && reflect.PointerTo(typ) == bigIntType {
+		i := v.Interface().(big.Int)
+		return buf.writeBigInt(&i)
+	}
+
+	switch typ.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			buf.writeByte(0x01)
+		} else {
+			buf.writeByte(0x80)
+		}
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		buf.writeUint(v.Uint())
+		return nil
+	case reflect.String:
+		buf.writeString([]byte(v.String()))
+		return nil
+	case reflect.Slice:
+		if typ.Elem().Kind() == reflect.Uint8 && !typ.Elem().Implements(encoderType) {
+			buf.writeString(v.Bytes())
+			return nil
+		}
+		return buf.encodeList(v)
+	case reflect.Array:
+		if isByteArray(typ) {
+			if !v.CanAddr() {
+				// Copy so Slice is legal on unaddressable arrays.
+				cp := reflect.New(typ).Elem()
+				cp.Set(v)
+				v = cp
+			}
+			buf.writeString(v.Slice(0, v.Len()).Bytes())
+			return nil
+		}
+		return buf.encodeList(v)
+	case reflect.Struct:
+		return buf.encodeStruct(v)
+	case reflect.Pointer:
+		if v.IsNil() {
+			return buf.encodeNilPointer(typ.Elem())
+		}
+		return buf.encode(v.Elem())
+	case reflect.Interface:
+		if v.IsNil() {
+			return fmt.Errorf("rlp: cannot encode nil interface value")
+		}
+		return buf.encode(v.Elem())
+	default:
+		return fmt.Errorf("rlp: type %v is not RLP-serializable", typ)
+	}
+}
+
+// encodeNilPointer writes the conventional empty value for a nil
+// pointer: empty string for string-like element types, empty list for
+// list-like ones.
+func (buf *encBuffer) encodeNilPointer(elem reflect.Type) error {
+	switch {
+	case elem.Kind() == reflect.Struct && elem != bigIntType.Elem():
+		buf.writeByte(0xC0)
+	case elem.Kind() == reflect.Slice && elem.Elem().Kind() != reflect.Uint8:
+		buf.writeByte(0xC0)
+	case elem.Kind() == reflect.Array && !isByteArray(elem):
+		buf.writeByte(0xC0)
+	default:
+		buf.writeByte(0x80)
+	}
+	return nil
+}
+
+func (buf *encBuffer) encodeList(v reflect.Value) error {
+	idx := buf.listStart()
+	buf.depth++
+	for i := 0; i < v.Len(); i++ {
+		if err := buf.encode(v.Index(i)); err != nil {
+			return err
+		}
+	}
+	buf.depth--
+	buf.listEnd(idx)
+	return nil
+}
+
+func (buf *encBuffer) encodeStruct(v reflect.Value) error {
+	fields, err := structFields(v.Type())
+	if err != nil {
+		return err
+	}
+	// Trailing optional fields holding zero values are omitted, in
+	// reverse order, so that older decoders accept the output.
+	last := len(fields)
+	for last > 0 && fields[last-1].optional && v.Field(fields[last-1].index).IsZero() {
+		last--
+	}
+	idx := buf.listStart()
+	buf.depth++
+	for _, f := range fields[:last] {
+		fv := v.Field(f.index)
+		if f.tail {
+			// Tail fields splice their elements into the outer list.
+			for i := 0; i < fv.Len(); i++ {
+				if err := buf.encode(fv.Index(i)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := buf.encode(fv); err != nil {
+			return err
+		}
+	}
+	buf.depth--
+	buf.listEnd(idx)
+	return nil
+}
+
+// encWriter collects bytes written by a custom Encoder implementation.
+type encWriter struct{ data []byte }
+
+func (w *encWriter) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,296 @@
+package rlp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/big"
+	"testing"
+)
+
+// encTest is one encoding vector: a Go value and its expected hex.
+type encTest struct {
+	val  any
+	want string
+}
+
+// The classic vectors from the Ethereum wiki plus edge cases.
+var encTests = []encTest{
+	// Booleans.
+	{true, "01"},
+	{false, "80"},
+
+	// Integers.
+	{uint64(0), "80"},
+	{uint64(1), "01"},
+	{uint64(0x7f), "7f"},
+	{uint64(0x80), "8180"},
+	{uint64(0xff), "81ff"},
+	{uint64(0x100), "820100"},
+	{uint64(1024), "820400"},
+	{uint64(0xffffff), "83ffffff"},
+	{uint64(0xffffffff), "84ffffffff"},
+	{uint64(0xffffffffff), "85ffffffffff"},
+	{uint64(0xffffffffffff), "86ffffffffffff"},
+	{uint64(0xffffffffffffff), "87ffffffffffffff"},
+	{uint64(0xffffffffffffffff), "88ffffffffffffffff"},
+	{uint8(0x80), "8180"},
+	{uint16(0x8000), "828000"},
+	{uint32(0), "80"},
+
+	// Big integers.
+	{big.NewInt(0), "80"},
+	{big.NewInt(1), "01"},
+	{big.NewInt(127), "7f"},
+	{big.NewInt(128), "8180"},
+	{new(big.Int).SetBytes(mustHex("102030405060708090a0b0c0d0e0f2")), "8f102030405060708090a0b0c0d0e0f2"},
+	{new(big.Int).SetBytes(mustHex("0100020003000400050006000700080009000a000b000c000d000e01")), "9c0100020003000400050006000700080009000a000b000c000d000e01"},
+	{(*big.Int)(nil), "80"},
+
+	// Byte strings.
+	{[]byte{}, "80"},
+	{[]byte{0x00}, "00"},
+	{[]byte{0x7e}, "7e"},
+	{[]byte{0x7f}, "7f"},
+	{[]byte{0x80}, "8180"},
+	{[]byte("dog"), "83646f67"},
+	{[]byte("Lorem ipsum dolor sit amet, consectetur adipisicing elit"),
+		"b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365637465747572206164697069736963696e6720656c6974"},
+	{"dog", "83646f67"},
+	{"", "80"},
+
+	// Fixed-size byte arrays.
+	{[4]byte{1, 2, 3, 4}, "8401020304"},
+	{[1]byte{0x7f}, "7f"},
+	{[0]byte{}, "80"},
+
+	// Lists.
+	{[]uint{}, "c0"},
+	{[]uint{1, 2, 3}, "c3010203"},
+	{[]any{}, "c0"},
+	{[]string{"cat", "dog"}, "c88363617483646f67"},
+	// The set-theoretic representation of three:
+	// [ [], [[]], [ [], [[]] ] ]
+	{[]any{[]any{}, []any{[]any{}}, []any{[]any{}, []any{[]any{}}}},
+		"c7c0c1c0c3c0c1c0"},
+	// Nested slices.
+	{[][]uint{{}, {1}, {2, 3}}, "c6c0c101c20203"},
+
+	// Structs.
+	{struct{}{}, "c0"},
+	{struct{ A, B uint }{1, 2}, "c20102"},
+	{struct {
+		A uint
+		B string
+	}{5, "cusp"}, "c6058463757370"},
+
+	// Pointers.
+	{ptr(uint64(5)), "05"},
+	{(*uint64)(nil), "80"},
+	{(*[]uint)(nil), "c0"},
+	{(*struct{ A uint })(nil), "c0"},
+	{ptr([]byte("dog")), "83646f67"},
+
+	// RawValue pass-through.
+	{RawValue(mustHex("c20102")), "c20102"},
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestEncodeVectors(t *testing.T) {
+	for i, test := range encTests {
+		got, err := EncodeToBytes(test.val)
+		if err != nil {
+			t.Errorf("test %d (%#v): unexpected error: %v", i, test.val, err)
+			continue
+		}
+		if hex.EncodeToString(got) != test.want {
+			t.Errorf("test %d (%#v): got %x, want %s", i, test.val, got, test.want)
+		}
+	}
+}
+
+func TestEncodeToWriter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, []string{"cat", "dog"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(buf.Bytes()); got != "c88363617483646f67" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestEncodeNegativeBigInt(t *testing.T) {
+	if _, err := EncodeToBytes(big.NewInt(-1)); err != ErrNegativeBigInt {
+		t.Errorf("got %v, want ErrNegativeBigInt", err)
+	}
+}
+
+func TestEncodeUnsupportedTypes(t *testing.T) {
+	for _, v := range []any{int(1), int64(-5), float64(1.5), map[string]string{}, make(chan int)} {
+		if _, err := EncodeToBytes(v); err == nil {
+			t.Errorf("expected error encoding %T", v)
+		}
+	}
+}
+
+func TestEncodeStructTags(t *testing.T) {
+	type tagged struct {
+		A uint
+		B uint `rlp:"-"`
+		C uint
+	}
+	got, err := EncodeToBytes(tagged{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.EncodeToString(got) != "c20103" {
+		t.Errorf("got %x, want c20103 (B skipped)", got)
+	}
+}
+
+func TestEncodeTailField(t *testing.T) {
+	type withTail struct {
+		A    uint
+		Rest []uint `rlp:"tail"`
+	}
+	got, err := EncodeToBytes(withTail{1, []uint{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail elements are spliced into the outer list, not nested.
+	if hex.EncodeToString(got) != "c3010203" {
+		t.Errorf("got %x, want c3010203", got)
+	}
+}
+
+func TestEncodeOptionalFields(t *testing.T) {
+	type withOpt struct {
+		A uint
+		B uint `rlp:"optional"`
+		C uint `rlp:"optional"`
+	}
+	tests := []struct {
+		in   withOpt
+		want string
+	}{
+		{withOpt{1, 0, 0}, "c101"},
+		{withOpt{1, 2, 0}, "c20102"},
+		{withOpt{1, 0, 3}, "c3018003"}, // zero B must be kept to preserve C's position
+		{withOpt{1, 2, 3}, "c3010203"},
+	}
+	for _, test := range tests {
+		got, err := EncodeToBytes(test.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hex.EncodeToString(got) != test.want {
+			t.Errorf("%+v: got %x, want %s", test.in, got, test.want)
+		}
+	}
+}
+
+func TestEncodeCustomEncoder(t *testing.T) {
+	got, err := EncodeToBytes(&customEnc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.EncodeToString(got) != "c20102" {
+		t.Errorf("got %x", got)
+	}
+}
+
+type customEnc struct{}
+
+var _ Encoder = (*customEnc)(nil)
+
+func (c *customEnc) EncodeRLP(w io.Writer) error {
+	_, err := w.Write(mustHex("c20102"))
+	return err
+}
+
+func TestEncodeLongList(t *testing.T) {
+	// A list longer than 55 bytes gets a multi-byte header.
+	vals := make([]uint, 60)
+	for i := range vals {
+		vals[i] = 1
+	}
+	got, err := EncodeToBytes(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xF8 || got[1] != 60 {
+		t.Errorf("header = %x %x, want f8 3c", got[0], got[1])
+	}
+	if len(got) != 62 {
+		t.Errorf("len = %d, want 62", len(got))
+	}
+}
+
+func TestEncodeLongString(t *testing.T) {
+	b := make([]byte, 1024)
+	got, err := EncodeToBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xB9 || got[1] != 0x04 || got[2] != 0x00 {
+		t.Errorf("header = %x", got[:3])
+	}
+}
+
+func TestAppendUint(t *testing.T) {
+	for _, i := range []uint64{0, 1, 0x7f, 0x80, 0x100, 0xffffffffffffffff} {
+		want, _ := EncodeToBytes(i)
+		got := AppendUint(nil, i)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendUint(%d) = %x, want %x", i, got, want)
+		}
+		if IntSize(i) != len(want) {
+			t.Errorf("IntSize(%d) = %d, want %d", i, IntSize(i), len(want))
+		}
+	}
+}
+
+func BenchmarkEncodeIntSlice(b *testing.B) {
+	vals := make([]uint64, 128)
+	for i := range vals {
+		vals[i] = uint64(i * 7777)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeToBytes(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeStruct(b *testing.B) {
+	type header struct {
+		ParentHash [32]byte
+		Number     uint64
+		Time       uint64
+		Extra      []byte
+	}
+	h := header{Number: 4370000, Time: 1508131331, Extra: []byte("dao-hard-fork")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeToBytes(&h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleEncodeToBytes() {
+	b, _ := EncodeToBytes([]string{"cat", "dog"})
+	fmt.Printf("%x\n", b)
+	// Output: c88363617483646f67
+}

@@ -1,0 +1,124 @@
+package rlpx
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/enode"
+	"repro/internal/snappy"
+)
+
+// Timeouts matching the Geth constants the paper lists in §4.
+const (
+	// FrameReadTimeout bounds a single message read.
+	FrameReadTimeout = 30 * time.Second
+	// FrameWriteTimeout bounds a single message write.
+	FrameWriteTimeout = 20 * time.Second
+)
+
+// Conn is an established RLPx connection carrying framed messages.
+// Option fields (timeouts, snappy, RTT) may be set from a different
+// goroutine than the reader/writer and are therefore atomic; the
+// frame reader and writer themselves must each be used from at most
+// one goroutine at a time.
+type Conn struct {
+	fd       net.Conn
+	rw       *frameRW
+	remoteID enode.ID
+
+	readTimeout  atomic.Int64 // nanoseconds; 0 disables
+	writeTimeout atomic.Int64
+	rtt          atomic.Int64
+	snappy       atomic.Bool
+}
+
+// Initiate performs the initiator handshake over an established TCP
+// connection toward the node with the given identity.
+func Initiate(fd net.Conn, priv *secp256k1.PrivateKey, remoteID enode.ID) (*Conn, error) {
+	sec, err := initiatorHandshake(fd, priv, remoteID)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(fd, sec), nil
+}
+
+// Accept performs the recipient handshake on an inbound connection
+// and learns the initiator's identity.
+func Accept(fd net.Conn, priv *secp256k1.PrivateKey) (*Conn, error) {
+	sec, err := recipientHandshake(fd, priv)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(fd, sec), nil
+}
+
+func newConn(fd net.Conn, sec *secrets) *Conn {
+	c := &Conn{
+		fd:       fd,
+		rw:       newFrameRW(fd, sec),
+		remoteID: sec.remoteID,
+	}
+	c.readTimeout.Store(int64(FrameReadTimeout))
+	c.writeTimeout.Store(int64(FrameWriteTimeout))
+	return c
+}
+
+// RemoteID returns the authenticated peer identity.
+func (c *Conn) RemoteID() enode.ID { return c.remoteID }
+
+// SetTimeouts overrides the per-message deadlines (zero disables).
+func (c *Conn) SetTimeouts(read, write time.Duration) {
+	c.readTimeout.Store(int64(read))
+	c.writeTimeout.Store(int64(write))
+}
+
+// SetSnappy enables devp2p-v5 payload compression. Real clients turn
+// this on right after the HELLO exchange when both sides advertise
+// base protocol version ≥ 5; message codes stay uncompressed.
+func (c *Conn) SetSnappy(on bool) { c.snappy.Store(on) }
+
+// WriteMsg sends one message with the standard write deadline.
+func (c *Conn) WriteMsg(code uint64, payload []byte) error {
+	if d := c.writeTimeout.Load(); d > 0 {
+		c.fd.SetWriteDeadline(time.Now().Add(time.Duration(d))) //nolint:errcheck
+	}
+	if c.snappy.Load() {
+		enc, err := snappy.Encode(payload)
+		if err != nil {
+			return fmt.Errorf("rlpx: compressing payload: %w", err)
+		}
+		payload = enc
+	}
+	return c.rw.WriteMsg(code, payload)
+}
+
+// ReadMsg receives one message with the standard read deadline.
+func (c *Conn) ReadMsg() (code uint64, payload []byte, err error) {
+	if d := c.readTimeout.Load(); d > 0 {
+		c.fd.SetReadDeadline(time.Now().Add(time.Duration(d))) //nolint:errcheck
+	}
+	code, payload, err = c.rw.ReadMsg()
+	if err == nil && c.snappy.Load() && len(payload) > 0 {
+		payload, err = snappy.Decode(payload)
+		if err != nil {
+			return 0, nil, fmt.Errorf("rlpx: decompressing payload: %w", err)
+		}
+	}
+	return code, payload, err
+}
+
+// Close tears down the underlying connection.
+func (c *Conn) Close() error { return c.fd.Close() }
+
+// SmoothedRTT reports the connection's round-trip estimate. Real
+// kernels expose TCP's sRTT; portably we cannot, so this returns the
+// value recorded by the dialer (set via SetRTT) — NodeFinder stores
+// its handshake timing here, mirroring how the paper samples latency
+// from the TCP socket (§4).
+func (c *Conn) SmoothedRTT() time.Duration { return time.Duration(c.rtt.Load()) }
+
+// SetRTT records a measured round-trip estimate for SmoothedRTT.
+func (c *Conn) SetRTT(d time.Duration) { c.rtt.Store(int64(d)) }

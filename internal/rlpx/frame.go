@@ -1,0 +1,195 @@
+package rlpx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+
+	"repro/internal/crypto/keccak"
+	"repro/internal/rlp"
+)
+
+// Frame layer errors.
+var (
+	ErrBadHeaderMAC = errors.New("rlpx: bad header MAC")
+	ErrBadFrameMAC  = errors.New("rlpx: bad frame MAC")
+	ErrFrameTooBig  = errors.New("rlpx: frame exceeds size limit")
+)
+
+// MaxFrameSize bounds a single frame's payload; the devp2p base
+// protocol never needs more in this repository.
+const MaxFrameSize = 16 * 1024 * 1024
+
+// zeroHeader is the constant header-data (an RLP list [0, 0]) that
+// fills bytes 3..5 of every frame header.
+var zeroHeader = []byte{0xC2, 0x80, 0x80}
+
+// macState is one direction's rolling MAC: a running Keccak-256
+// absorbing frame ciphertext, combined with an AES-ECB step keyed by
+// the MAC secret.
+type macState struct {
+	hash  hash.Hash
+	block cipher.Block
+}
+
+func newMACState(macSecret []byte) *macState {
+	block, err := aes.NewCipher(macSecret)
+	if err != nil {
+		panic("rlpx: mac secret has wrong length: " + err.Error())
+	}
+	return &macState{hash: keccak.New256(), block: block}
+}
+
+// computeHeaderMAC advances the MAC over a header ciphertext.
+func (m *macState) computeHeaderMAC(headerCiphertext []byte) []byte {
+	return m.update(headerCiphertext)
+}
+
+// computeFrameMAC advances the MAC over frame ciphertext.
+func (m *macState) computeFrameMAC(frameCiphertext []byte) []byte {
+	m.hash.Write(frameCiphertext)
+	seed := m.hash.Sum(nil)[:16]
+	return m.update(seed)
+}
+
+// update implements the odd RLPx MAC step: AES-encrypt the current
+// digest, XOR with the seed, absorb, and return the new digest half.
+func (m *macState) update(seed []byte) []byte {
+	buf := make([]byte, 16)
+	m.block.Encrypt(buf, m.hash.Sum(nil)[:16])
+	for i := range buf {
+		buf[i] ^= seed[i]
+	}
+	m.hash.Write(buf)
+	return m.hash.Sum(nil)[:16]
+}
+
+// frameRW encrypts and authenticates frames in both directions.
+type frameRW struct {
+	conn io.ReadWriter
+	enc  cipher.Stream // egress AES-CTR keystream
+	dec  cipher.Stream // ingress AES-CTR keystream
+	em   *macState
+	im   *macState
+}
+
+func newFrameRW(conn io.ReadWriter, s *secrets) *frameRW {
+	encBlock, err := aes.NewCipher(s.aes)
+	if err != nil {
+		panic("rlpx: aes secret has wrong length: " + err.Error())
+	}
+	decBlock, _ := aes.NewCipher(s.aes)
+	iv := make([]byte, encBlock.BlockSize()) // zero IV: keystream is session-unique
+	return &frameRW{
+		conn: conn,
+		enc:  cipher.NewCTR(encBlock, iv),
+		dec:  cipher.NewCTR(decBlock, iv),
+		em:   s.egressMAC,
+		im:   s.ingressMAC,
+	}
+}
+
+// WriteMsg frames one message: code plus pre-encoded RLP payload.
+func (rw *frameRW) WriteMsg(code uint64, payload []byte) error {
+	codeBytes := rlp.AppendUint(nil, code)
+	frameSize := len(codeBytes) + len(payload)
+	if frameSize > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+
+	// Header: 3-byte size, zero header-data, zero padding to 16.
+	header := make([]byte, 16)
+	header[0] = byte(frameSize >> 16)
+	header[1] = byte(frameSize >> 8)
+	header[2] = byte(frameSize)
+	copy(header[3:], zeroHeader)
+	rw.enc.XORKeyStream(header, header)
+	headerMAC := rw.em.computeHeaderMAC(header)
+
+	// Frame data padded to a 16-byte boundary.
+	padded := frameSize
+	if over := frameSize % 16; over != 0 {
+		padded += 16 - over
+	}
+	frame := make([]byte, padded)
+	copy(frame, codeBytes)
+	copy(frame[len(codeBytes):], payload)
+	rw.enc.XORKeyStream(frame, frame)
+	frameMAC := rw.em.computeFrameMAC(frame)
+
+	out := make([]byte, 0, 32+len(frame)+16)
+	out = append(out, header...)
+	out = append(out, headerMAC...)
+	out = append(out, frame...)
+	out = append(out, frameMAC...)
+	_, err := rw.conn.Write(out)
+	return err
+}
+
+// ReadMsg reads and authenticates one frame, returning the message
+// code and payload.
+func (rw *frameRW) ReadMsg() (code uint64, payload []byte, err error) {
+	headbuf := make([]byte, 32)
+	if _, err := io.ReadFull(rw.conn, headbuf); err != nil {
+		return 0, nil, err
+	}
+	wantHeaderMAC := rw.im.computeHeaderMAC(headbuf[:16])
+	if !hmacEqual(wantHeaderMAC, headbuf[16:]) {
+		return 0, nil, ErrBadHeaderMAC
+	}
+	rw.dec.XORKeyStream(headbuf[:16], headbuf[:16])
+	frameSize := int(headbuf[0])<<16 | int(headbuf[1])<<8 | int(headbuf[2])
+	if frameSize > MaxFrameSize {
+		return 0, nil, ErrFrameTooBig
+	}
+	padded := frameSize
+	if over := frameSize % 16; over != 0 {
+		padded += 16 - over
+	}
+	framebuf := make([]byte, padded+16)
+	if _, err := io.ReadFull(rw.conn, framebuf); err != nil {
+		return 0, nil, fmt.Errorf("rlpx: reading frame: %w", err)
+	}
+	frame, mac := framebuf[:padded], framebuf[padded:]
+	wantFrameMAC := rw.im.computeFrameMAC(frame)
+	if !hmacEqual(wantFrameMAC, mac) {
+		return 0, nil, ErrBadFrameMAC
+	}
+	rw.dec.XORKeyStream(frame, frame)
+	content := frame[:frameSize]
+
+	// Message code is a single RLP value at the front.
+	rest, err := readMsgCode(content, &code)
+	if err != nil {
+		return 0, nil, err
+	}
+	return code, rest, nil
+}
+
+func readMsgCode(b []byte, code *uint64) ([]byte, error) {
+	content, rest, err := rlp.SplitString(b)
+	if err != nil {
+		return nil, fmt.Errorf("rlpx: reading message code: %w", err)
+	}
+	var v uint64
+	for _, c := range content {
+		v = v<<8 | uint64(c)
+	}
+	// A single byte < 0x80 is its own value; empty string is zero.
+	*code = v
+	return rest, nil
+}
+
+func hmacEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

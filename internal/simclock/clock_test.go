@@ -1,0 +1,186 @@
+package simclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2018, 4, 18, 0, 0, 0, 0, time.UTC)
+
+func TestSimulatedNow(t *testing.T) {
+	c := NewSimulated(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatal("start time wrong")
+	}
+	c.Advance(3 * time.Hour)
+	if got := c.Now(); !got.Equal(epoch.Add(3 * time.Hour)) {
+		t.Fatalf("now = %v", got)
+	}
+	if c.Since(epoch) != 3*time.Hour {
+		t.Fatal("Since wrong")
+	}
+}
+
+func TestAfterFuncFiresInOrder(t *testing.T) {
+	c := NewSimulated(epoch)
+	var order []int
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	n := c.Advance(10 * time.Second)
+	if n != 3 {
+		t.Fatalf("fired %d", n)
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestAfterFuncTieBreak(t *testing.T) {
+	c := NewSimulated(epoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := NewSimulated(epoch)
+	fired := false
+	timer := c.AfterFunc(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop reported already fired")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop reported success")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestCallbackTimeIsDeadline(t *testing.T) {
+	c := NewSimulated(epoch)
+	var at time.Time
+	c.AfterFunc(90*time.Second, func() { at = c.Now() })
+	c.Advance(time.Hour)
+	if !at.Equal(epoch.Add(90 * time.Second)) {
+		t.Fatalf("callback saw %v", at)
+	}
+	// After the advance, time is at the full hour.
+	if !c.Now().Equal(epoch.Add(time.Hour)) {
+		t.Fatal("clock not at target after advance")
+	}
+}
+
+func TestReschedulingCallback(t *testing.T) {
+	c := NewSimulated(epoch)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			c.AfterFunc(time.Minute, tick)
+		}
+	}
+	c.AfterFunc(time.Minute, tick)
+	c.Advance(time.Hour)
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestRunAllLimit(t *testing.T) {
+	c := NewSimulated(epoch)
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		c.AfterFunc(time.Second, loop)
+	}
+	c.AfterFunc(time.Second, loop)
+	fired := c.RunAll(100)
+	if fired != 100 || count != 100 {
+		t.Fatalf("fired %d count %d", fired, count)
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	c := NewSimulated(epoch)
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("deadline on empty clock")
+	}
+	tm := c.AfterFunc(5*time.Second, func() {})
+	c.AfterFunc(9*time.Second, func() {})
+	if d, ok := c.NextDeadline(); !ok || !d.Equal(epoch.Add(5*time.Second)) {
+		t.Fatalf("deadline %v %v", d, ok)
+	}
+	tm.Stop()
+	if d, ok := c.NextDeadline(); !ok || !d.Equal(epoch.Add(9*time.Second)) {
+		t.Fatalf("after cancel: %v %v", d, ok)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	c := NewSimulated(epoch)
+	t1 := c.AfterFunc(time.Second, func() {})
+	c.AfterFunc(2*time.Second, func() {})
+	if c.PendingCount() != 2 {
+		t.Fatal("want 2 pending")
+	}
+	t1.Stop()
+	if c.PendingCount() != 1 {
+		t.Fatal("want 1 pending after stop")
+	}
+	c.Advance(time.Minute)
+	if c.PendingCount() != 0 {
+		t.Fatal("want 0 pending after advance")
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	var c Clock = System{}
+	start := c.Now()
+	var fired atomic.Bool
+	timer := c.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	deadline := time.Now().Add(2 * time.Second)
+	for !fired.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !fired.Load() {
+		t.Fatal("system AfterFunc never fired")
+	}
+	timer.Stop()
+	if c.Since(start) <= 0 {
+		t.Fatal("Since not positive")
+	}
+}
+
+func TestAdvanceWithNoTimers(t *testing.T) {
+	c := NewSimulated(epoch)
+	if n := c.Advance(time.Hour); n != 0 {
+		t.Fatalf("fired %d", n)
+	}
+	if !c.Now().Equal(epoch.Add(time.Hour)) {
+		t.Fatal("time did not advance")
+	}
+}
+
+func TestNegativeDelay(t *testing.T) {
+	c := NewSimulated(epoch)
+	fired := false
+	c.AfterFunc(-time.Second, func() { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Fatal("negative-delay timer should fire immediately on advance")
+	}
+}

@@ -1,0 +1,300 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/devp2p"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+)
+
+// Timing constants mirroring the real stack's behavior.
+const (
+	simDialTimeout = 15 * time.Second // Geth's defaultDialTimeout
+)
+
+// Common simulated failures.
+var (
+	errConnRefused = errors.New("connect: connection refused")
+	errTimeout     = errors.New("i/o timeout")
+)
+
+// SimDiscovery implements nodefinder.Discovery over the world. Each
+// lookup takes virtual time and returns a sample of the discoverable
+// population, approximating Kademlia convergence returns.
+type SimDiscovery struct {
+	W    *World
+	self enode.ID
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewDiscovery creates a discovery handle with its own RNG stream.
+func (w *World) NewDiscovery(seed int64) *SimDiscovery {
+	return &SimDiscovery{
+		W:    w,
+		self: enode.RandomID(rand.New(rand.NewSource(seed))),
+		rng:  rand.New(rand.NewSource(seed ^ 0x5eed)),
+	}
+}
+
+// Self implements nodefinder.Discovery.
+func (d *SimDiscovery) Self() enode.ID { return d.self }
+
+// Lookup implements nodefinder.Discovery. The duration model makes a
+// full round take ~12 virtual seconds on average, which combined with
+// the 4-second lookupInterval reproduces the ≈304 lookups/hour of
+// Figure 5.
+func (d *SimDiscovery) Lookup(target enode.ID, done func([]*enode.Node)) {
+	d.mu.Lock()
+	// Lognormal-ish lookup duration: median ≈ 11 s.
+	dur := time.Duration(11e9 * math.Exp(d.rng.NormFloat64()*0.3))
+	// Sample up to 16 discoverable node records. Kademlia tables are
+	// full of stale entries — gossip keeps returning offline and
+	// dead addresses — so sampling is NOT restricted to online
+	// nodes; live ones are merely more likely (they refresh their
+	// table entries). This staleness is why only ≈31% of dialed
+	// nodes respond (Figures 6-7).
+	now := d.W.Clock.Now()
+	var found []*enode.Node
+	population := d.W.Nodes
+	if len(population) > 0 {
+		for try := 0; try < 96 && len(found) < 16; try++ {
+			n := population[d.rng.Intn(len(population))]
+			if now.Before(n.Born) {
+				continue // identity does not exist yet
+			}
+			if now.After(n.Died.Add(24 * time.Hour)) {
+				continue // long-dead record: evicted from tables
+			}
+			if !n.OnlineAt(now) && d.rng.Float64() < 0.45 {
+				continue // stale record, somewhat less gossiped
+			}
+			found = append(found, n.Node)
+		}
+	}
+	d.mu.Unlock()
+	d.W.Clock.AfterFunc(dur, func() { done(found) })
+}
+
+// SimDialer implements nodefinder.Dialer over the world, modeling the
+// outcome classes the paper's crawler observed: dead addresses, NAT
+// timeouts, Too-many-peers rejections, non-eth services, light
+// clients, alternative networks, and productive Mainnet handshakes
+// with DAO verification.
+type SimDialer struct {
+	W *World
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewDialer creates a dialer with its own RNG stream.
+func (w *World) NewDialer(seed int64) *SimDialer {
+	return &SimDialer{W: w, rng: rand.New(rand.NewSource(seed ^ 0xd1a1))}
+}
+
+// Dial implements nodefinder.Dialer.
+func (d *SimDialer) Dial(target *enode.Node, kind mlog.ConnType, done func(*nodefinder.DialResult)) {
+	start := d.W.Clock.Now()
+	res, dur := d.outcome(target, kind, start)
+	d.W.Clock.AfterFunc(dur, func() {
+		res.Duration = dur
+		done(res)
+	})
+}
+
+// outcome computes the dial result and its virtual duration.
+func (d *SimDialer) outcome(target *enode.Node, kind mlog.ConnType, start time.Time) (*nodefinder.DialResult, time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res := &nodefinder.DialResult{Node: target, Kind: kind, Start: start}
+
+	n := d.W.NodeByID(target.ID)
+	if n == nil {
+		res.Err = errConnRefused
+		return res, 200 * time.Millisecond
+	}
+	if !n.Reachable {
+		// NAT'd: SYN black-holes until the dial timeout.
+		res.Err = errTimeout
+		return res, simDialTimeout
+	}
+	if !n.OnlineAt(start) {
+		res.Err = errConnRefused
+		return res, 300 * time.Millisecond
+	}
+
+	// Connected: sample an RTT for this connection.
+	rtt := time.Duration(float64(n.RTTMedian) * math.Exp(d.rng.NormFloat64()*0.25))
+	res.RTT = rtt
+
+	// Peer-limit check happens before the protocol handshake, as in
+	// Geth: a full node rejects with Too many peers and no HELLO.
+	if d.rng.Float64() < n.Occupancy {
+		reason := devp2p.DiscTooManyPeers
+		res.Disconnect = &reason
+		return res, 3 * rtt
+	}
+
+	// DEVp2p HELLO.
+	res.Hello = d.W.helloFor(n, start)
+
+	// Only a shared eth capability yields a STATUS; light protocols
+	// (les/pip) and other services end here — §5.3's explanation for
+	// the nodes Ethernodes saw but NodeFinder could not verify.
+	if n.Service != SvcEth {
+		return res, 4 * rtt
+	}
+
+	// eth STATUS.
+	res.Status = d.W.statusFor(n, start)
+	res.BestBlock = n.BestBlockAt(start)
+
+	// DAO-fork verification for network-1 peers (Mainnet/Classic).
+	if n.Network != nil && n.Network.NetworkID == 1 {
+		res.DAOChecked = true
+		if n.BestBlockAt(start) < 1_920_000 {
+			res.DAOChecked = true
+			res.DAOFork = eth.DAOForkUnknown
+		} else if n.Network.DAOFork {
+			res.DAOFork = eth.DAOForkSupported
+		} else {
+			res.DAOFork = eth.DAOForkOpposed
+		}
+		return res, 6 * rtt
+	}
+	return res, 5 * rtt
+}
+
+// helloFor builds a node's HELLO at virtual time t.
+func (w *World) helloFor(n *SimNode, t time.Time) *devp2p.Hello {
+	var caps []devp2p.Cap
+	switch n.Service {
+	case SvcEth:
+		caps = []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}}
+	case SvcLES:
+		caps = []devp2p.Cap{{Name: "les", Version: 2}}
+	case SvcPIP:
+		caps = []devp2p.Cap{{Name: "pip", Version: 1}}
+	default:
+		caps = []devp2p.Cap{{Name: n.CapName(), Version: 1}}
+	}
+	return &devp2p.Hello{
+		Version:    devp2p.Version,
+		Name:       w.ClientNameAt(n, t),
+		Caps:       caps,
+		ListenPort: 30303,
+		ID:         n.Node.ID,
+	}
+}
+
+// statusFor builds a node's eth STATUS at virtual time t.
+func (w *World) statusFor(n *SimNode, t time.Time) *eth.Status {
+	best := n.BestBlockAt(t)
+	return &eth.Status{
+		ProtocolVersion: uint32(eth.Version63),
+		NetworkID:       n.Network.NetworkID,
+		TD:              new(big.Int).Mul(big.NewInt(int64(best)), big.NewInt(131072)),
+		BestHash:        n.Network.BestHashAt(best),
+		GenesisHash:     n.Network.GenesisHash,
+	}
+}
+
+// IncomingGenerator schedules inbound connections to a Finder:
+// online nodes (reachable or not) periodically dial the crawler, the
+// only way NAT'd nodes become visible (§5.5, Table 2's NFU column).
+type IncomingGenerator struct {
+	W      *World
+	Finder *nodefinder.Finder
+	// MeanInterval is the average gap between inbound connections
+	// across the whole population.
+	MeanInterval time.Duration
+
+	rng     *rand.Rand
+	stopped bool
+	mu      sync.Mutex
+}
+
+// StartIncoming begins generating inbound connections.
+func (w *World) StartIncoming(f *nodefinder.Finder, mean time.Duration, seed int64) *IncomingGenerator {
+	g := &IncomingGenerator{W: w, Finder: f, MeanInterval: mean, rng: rand.New(rand.NewSource(seed ^ 0x1c0))}
+	g.schedule()
+	return g
+}
+
+// Stop halts generation.
+func (g *IncomingGenerator) Stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.mu.Unlock()
+}
+
+func (g *IncomingGenerator) schedule() {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	gap := time.Duration(float64(g.MeanInterval) * (0.1 + g.rng.ExpFloat64()))
+	g.mu.Unlock()
+	g.W.Clock.AfterFunc(gap, func() {
+		g.fire()
+		g.schedule()
+	})
+}
+
+func (g *IncomingGenerator) fire() {
+	g.mu.Lock()
+	if g.stopped || len(g.W.Nodes) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	now := g.W.Clock.Now()
+	var n *SimNode
+	for try := 0; try < 32; try++ {
+		cand := g.W.Nodes[g.rng.Intn(len(g.W.Nodes))]
+		if cand.OnlineAt(now) {
+			n = cand
+			break
+		}
+	}
+	if n == nil {
+		g.mu.Unlock()
+		return
+	}
+	rtt := time.Duration(float64(n.RTTMedian) * math.Exp(g.rng.NormFloat64()*0.25))
+	res := &nodefinder.DialResult{
+		Node:  n.Node,
+		Kind:  mlog.ConnIncoming,
+		Start: now,
+		RTT:   rtt,
+		Hello: g.W.helloFor(n, now),
+	}
+	if n.Service == SvcEth {
+		res.Status = g.W.statusFor(n, now)
+		res.BestBlock = n.BestBlockAt(now)
+		if n.Network.NetworkID == 1 {
+			res.DAOChecked = true
+			switch {
+			case n.BestBlockAt(now) < 1_920_000:
+				res.DAOFork = eth.DAOForkUnknown
+			case n.Network.DAOFork:
+				res.DAOFork = eth.DAOForkSupported
+			default:
+				res.DAOFork = eth.DAOForkOpposed
+			}
+		}
+	}
+	res.Duration = 5 * rtt
+	g.mu.Unlock()
+	g.Finder.HandleIncoming(res)
+}

@@ -1,0 +1,94 @@
+package snappy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// The encoder never emits copy-4 elements (offsets stay under 64 KiB),
+// but the decoder must accept them for wire compatibility with other
+// implementations. These tests hand-craft copy-4 inputs.
+
+func TestDecodeCopy4(t *testing.T) {
+	// "abcd" literal, then copy-4 of length 4 at offset 4 → "abcdabcd".
+	src := []byte{
+		8,                 // decoded length 8
+		3<<2 | tagLiteral, // literal, length 4
+		'a', 'b', 'c', 'd',
+		3<<2 | tagCopy4, // copy, length 4
+		4, 0, 0, 0,      // offset 4 little-endian
+	}
+	got, err := Decode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("abcdabcd")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDecodeCopy4Truncated(t *testing.T) {
+	src := []byte{8, 3<<2 | tagCopy4, 4, 0} // header cut short
+	if _, err := Decode(src); err == nil {
+		t.Fatal("truncated copy-4 accepted")
+	}
+}
+
+func TestDecodeCopy4BadOffset(t *testing.T) {
+	src := []byte{
+		8,
+		3<<2 | tagLiteral, 'a', 'b', 'c', 'd',
+		3<<2 | tagCopy4, 200, 0, 0, 0, // offset beyond output
+	}
+	if _, err := Decode(src); err == nil {
+		t.Fatal("out-of-range copy-4 offset accepted")
+	}
+}
+
+func TestDecodeCopy2Truncated(t *testing.T) {
+	src := []byte{4, 1<<2 | tagCopy2, 1} // missing offset byte
+	if _, err := Decode(src); err == nil {
+		t.Fatal("truncated copy-2 accepted")
+	}
+}
+
+func TestDecodeCopy1Truncated(t *testing.T) {
+	src := []byte{4, tagCopy1} // missing offset byte
+	if _, err := Decode(src); err == nil {
+		t.Fatal("truncated copy-1 accepted")
+	}
+}
+
+func TestDecodedLenErrors(t *testing.T) {
+	if _, err := DecodedLen(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if n, err := DecodedLen([]byte{42, 0xFF}); err != nil || n != 42 {
+		t.Fatalf("got %d, %v", n, err)
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomInput(t *testing.T) {
+	// The decoder must reject, not panic on, arbitrary bytes.
+	rng := newTestRand(7)
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(48)
+		b := make([]byte, n)
+		rng.Read(b)
+		Decode(b) //nolint:errcheck // looking for panics only
+	}
+}
+
+func TestMaxEncodedLenMonotonic(t *testing.T) {
+	prev := 0
+	for _, n := range []int{0, 1, 100, 10000, MaxBlockSize} {
+		m := MaxEncodedLen(n)
+		if m <= prev || m < n {
+			t.Fatalf("MaxEncodedLen(%d) = %d not sane", n, m)
+		}
+		prev = m
+	}
+}

@@ -1,0 +1,299 @@
+// Package snappy implements the Snappy block compression format.
+//
+// DEVp2p version 5 (the version clients of the paper's era advertise
+// in HELLO) compresses every message payload with Snappy before RLPx
+// framing. This is a from-scratch, dependency-free implementation of
+// the block format — *not* the framing/stream format — sufficient for
+// wire compatibility: a varint-encoded uncompressed length followed
+// by literal and copy elements.
+//
+// Reference: google/snappy format_description.txt.
+package snappy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tag values for the low two bits of each element's first byte.
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+)
+
+// MaxBlockSize is the largest input Encode accepts; devp2p caps
+// messages well below this.
+const MaxBlockSize = 1 << 24
+
+// Decode errors.
+var (
+	ErrCorrupt  = errors.New("snappy: corrupt input")
+	ErrTooLarge = errors.New("snappy: decoded block is too large")
+)
+
+// uvarint appends x as an unsigned varint.
+func uvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// readUvarint parses an unsigned varint, returning the value and the
+// number of bytes consumed (0 on error).
+func readUvarint(src []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, b := range src {
+		if i >= 10 {
+			return 0, 0
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, 0
+			}
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// MaxEncodedLen returns the worst-case output size for an input of
+// length n: varint header plus incompressible literals.
+func MaxEncodedLen(n int) int {
+	return 10 + n + n/6 + 1
+}
+
+// Encode compresses src using a greedy hash-table matcher. The output
+// decodes with any standard Snappy implementation.
+func Encode(src []byte) ([]byte, error) {
+	if len(src) > MaxBlockSize {
+		return nil, fmt.Errorf("snappy: input of %d bytes exceeds block limit", len(src))
+	}
+	dst := uvarint(make([]byte, 0, MaxEncodedLen(len(src))), uint64(len(src)))
+	if len(src) == 0 {
+		return dst, nil
+	}
+	if len(src) < 16 {
+		// Too short for matching: one literal.
+		return emitLiteral(dst, src), nil
+	}
+
+	// Hash table of recent 4-byte sequences.
+	const tableBits = 14
+	var table [1 << tableBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	hash := func(u uint32) uint32 {
+		return (u * 0x1e35a7bd) >> (32 - tableBits)
+	}
+	load32 := func(i int) uint32 {
+		return uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16 | uint32(src[i+3])<<24
+	}
+
+	var (
+		s        = 0 // iterator
+		litStart = 0 // start of pending literal run
+		sLimit   = len(src) - 4
+	)
+	for s < sLimit {
+		h := hash(load32(s))
+		cand := table[h]
+		table[h] = int32(s)
+		if cand >= 0 && s-int(cand) <= 0xFFFF && load32(int(cand)) == load32(s) {
+			// Emit pending literals, then extend the match.
+			if s > litStart {
+				dst = emitLiteral(dst, src[litStart:s])
+			}
+			base := s
+			s += 4
+			m := int(cand) + 4
+			for s < len(src) && src[s] == src[m] {
+				s++
+				m++
+			}
+			dst = emitCopy(dst, base-int(cand), s-base)
+			litStart = s
+			continue
+		}
+		s++
+	}
+	if litStart < len(src) {
+		dst = emitLiteral(dst, src[litStart:])
+	}
+	return dst, nil
+}
+
+// emitLiteral appends a literal element.
+func emitLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|tagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|tagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|tagLiteral, byte(n), byte(n>>8))
+	case n < 1<<24:
+		dst = append(dst, 62<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	default:
+		dst = append(dst, 63<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return append(dst, lit...)
+}
+
+// emitCopy appends copy elements for a match of the given offset and
+// length.
+func emitCopy(dst []byte, offset, length int) []byte {
+	// Long matches: emit 64-byte copy-2 chunks.
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		// Leave at least 4 for the final copy.
+		dst = append(dst, 59<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 || length < 4 {
+		dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		return dst
+	}
+	// Copy-1: 4..11 length, offset < 2048.
+	dst = append(dst, byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1, byte(offset))
+	return dst
+}
+
+// DecodedLen returns the uncompressed length announced by a block.
+func DecodedLen(src []byte) (int, error) {
+	n, consumed := readUvarint(src)
+	if consumed == 0 {
+		return 0, ErrCorrupt
+	}
+	if n > MaxBlockSize {
+		return 0, ErrTooLarge
+	}
+	return int(n), nil
+}
+
+// Decode decompresses a Snappy block.
+func Decode(src []byte) ([]byte, error) {
+	dLen64, consumed := readUvarint(src)
+	if consumed == 0 {
+		return nil, ErrCorrupt
+	}
+	if dLen64 > MaxBlockSize {
+		return nil, ErrTooLarge
+	}
+	dLen := int(dLen64)
+	src = src[consumed:]
+	dst := make([]byte, 0, dLen)
+
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 0x03 {
+		case tagLiteral:
+			n := int(tag >> 2)
+			var hdr int
+			switch {
+			case n < 60:
+				hdr = 1
+			case n == 60:
+				if len(src) < 2 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[1])
+				hdr = 2
+			case n == 61:
+				if len(src) < 3 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[1]) | int(src[2])<<8
+				hdr = 3
+			case n == 62:
+				if len(src) < 4 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[1]) | int(src[2])<<8 | int(src[3])<<16
+				hdr = 4
+			default:
+				if len(src) < 5 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[1]) | int(src[2])<<8 | int(src[3])<<16 | int(src[4])<<24
+				hdr = 5
+			}
+			n++ // stored as length-1
+			if n < 0 || len(src) < hdr+n {
+				return nil, ErrCorrupt
+			}
+			dst = append(dst, src[hdr:hdr+n]...)
+			src = src[hdr+n:]
+
+		case tagCopy1:
+			if len(src) < 2 {
+				return nil, ErrCorrupt
+			}
+			length := 4 + int(tag>>2)&0x07
+			offset := int(tag&0xE0)<<3 | int(src[1])
+			src = src[2:]
+			var err error
+			dst, err = copyFrom(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+
+		case tagCopy2:
+			if len(src) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := 1 + int(tag>>2)
+			offset := int(src[1]) | int(src[2])<<8
+			src = src[3:]
+			var err error
+			dst, err = copyFrom(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+
+		case tagCopy4:
+			if len(src) < 5 {
+				return nil, ErrCorrupt
+			}
+			length := 1 + int(tag>>2)
+			offset := int(src[1]) | int(src[2])<<8 | int(src[3])<<16 | int(src[4])<<24
+			src = src[5:]
+			var err error
+			dst, err = copyFrom(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(dst) > dLen {
+			return nil, ErrCorrupt
+		}
+	}
+	if len(dst) != dLen {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// copyFrom appends length bytes starting offset back from the end of
+// dst, allowing overlapping (run-length) copies.
+func copyFrom(dst []byte, offset, length int) ([]byte, error) {
+	if offset <= 0 || offset > len(dst) || length <= 0 {
+		return nil, ErrCorrupt
+	}
+	pos := len(dst) - offset
+	for i := 0; i < length; i++ {
+		dst = append(dst, dst[pos+i])
+	}
+	return dst, nil
+}
