@@ -1,8 +1,23 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench experiments quickstart clean
+.PHONY: all build vet test race bench fmt-check ci experiments quickstart clean
 
 all: build vet test
+
+# Fail if any file needs gofmt (same check CI runs).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Reproduce the full CI pipeline (.github/workflows/ci.yml) locally.
+ci: fmt-check build vet test race bench-smoke
+
+# One-iteration benchmark pass: catches benchmarks that no longer
+# compile or panic, without the cost of real measurement.
+.PHONY: bench-smoke
+bench-smoke:
+	go test -bench=. -benchtime=1x ./...
 
 build:
 	go build ./...

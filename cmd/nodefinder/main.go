@@ -13,10 +13,14 @@
 //	    listener.
 //
 // Both modes write the measurement log as JSON lines and print a
-// summary census on exit.
+// summary census on exit. With -metrics-interval, both also dump a
+// live crawl-health snapshot (dial outcomes, error taxonomy, table
+// gauges, latency histograms) to stderr on that cadence — virtual
+// time in sim mode — plus a final snapshot after the crawl.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -30,8 +34,11 @@ import (
 	"repro/internal/discv4"
 	"repro/internal/enode"
 	"repro/internal/eth"
+	"repro/internal/metrics"
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
+	"repro/internal/rlpx"
+	"repro/internal/simclock"
 	"repro/internal/simnet"
 
 	cryptorand "crypto/rand"
@@ -47,6 +54,8 @@ func main() {
 		bootnodes = flag.String("bootnodes", "", "real: comma-separated enode URLs")
 		duration  = flag.Duration("duration", 30*time.Second, "real: wall-clock crawl duration")
 		logPath   = flag.String("log", "", "write measurement log (JSONL) to this path")
+		metricsIv = flag.Duration("metrics-interval", 0, "dump a metrics snapshot to stderr this often (virtual time in sim mode; 0 disables)")
+		metricsFm = flag.String("metrics-format", "text", "periodic snapshot format: text or json")
 	)
 	flag.Parse()
 	if *realMode {
@@ -67,12 +76,15 @@ func main() {
 		sinks = append(sinks, w)
 	}
 
+	reg := metrics.New()
+	dump := snapshotDumper(reg, *metricsFm)
+
 	var st nodefinder.Stats
 	var err error
 	if *simMode {
-		st, err = runSim(*nodes, *days, *seed, sinks)
+		st, err = runSim(*nodes, *days, *seed, sinks, reg, *metricsIv, dump)
 	} else {
-		st, err = runReal(*bootnodes, *duration, sinks)
+		st, err = runReal(*bootnodes, *duration, sinks, reg, *metricsIv, dump)
 	}
 	if err != nil {
 		fatal(err)
@@ -80,6 +92,8 @@ func main() {
 
 	fmt.Printf("crawl complete: %d discovery rounds, %d dynamic dials, %d static dials, %d incoming, %d successful\n",
 		st.DiscoveryAttempts, st.DynamicDials, st.StaticDials, st.IncomingConns, st.SuccessfulConns)
+	fmt.Println("\nfinal metrics:")
+	reg.WriteTo(os.Stdout) //nolint:errcheck
 
 	obs := analysis.Aggregate(col.Entries())
 	san := analysis.Sanitize(obs)
@@ -95,21 +109,61 @@ func main() {
 	}
 }
 
-func runSim(nodes, days int, seed int64, sink mlog.Sink) (nodefinder.Stats, error) {
+// snapshotDumper returns a function that writes one metrics snapshot
+// (stamped with the crawl clock's current time) to stderr. JSON
+// format emits exactly one JSON object per line, so the stream can
+// be consumed as JSONL.
+func snapshotDumper(reg *metrics.Registry, format string) func(now time.Time) {
+	return func(now time.Time) {
+		if format == "json" {
+			line, err := json.Marshal(struct {
+				Time     time.Time         `json:"time"`
+				Snapshot *metrics.Snapshot `json:"snapshot"`
+			}{now, reg.Snapshot()})
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "%s\n", line)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "--- metrics @ %s ---\n", now.Format(time.RFC3339))
+		reg.WriteTo(os.Stderr) //nolint:errcheck
+	}
+}
+
+// scheduleDumps arms a recurring snapshot dump on the crawl clock
+// (virtual in sim mode, so an 82-day run prints its periodic
+// snapshots in seconds of wall time).
+func scheduleDumps(clock simclock.Clock, interval time.Duration, dump func(now time.Time)) {
+	if interval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		dump(clock.Now())
+		clock.AfterFunc(interval, tick)
+	}
+	clock.AfterFunc(interval, tick)
+}
+
+func runSim(nodes, days int, seed int64, sink mlog.Sink, reg *metrics.Registry, metricsIv time.Duration, dump func(time.Time)) (nodefinder.Stats, error) {
 	cfg := simnet.DefaultConfig(seed)
 	cfg.BaseNodes = nodes
 	w := simnet.NewWorld(cfg)
+	dialer := w.NewDialer(seed + 2)
+	dialer.Metrics = nodefinder.NewDialerMetrics(reg)
 	f, err := nodefinder.New(nodefinder.Config{
 		Clock:     w.Clock,
 		Discovery: w.NewDiscovery(seed + 1),
-		Dialer:    w.NewDialer(seed + 2),
+		Dialer:    dialer,
 		Log:       sink,
+		Metrics:   reg,
 		Seed:      seed + 3,
 	})
 	if err != nil {
 		return nodefinder.Stats{}, err
 	}
 	gen := w.StartIncoming(f, 20*time.Second, seed+4)
+	scheduleDumps(w.Clock, metricsIv, dump)
 	f.Start()
 	for d := 0; d < days; d++ {
 		w.Clock.Advance(24 * time.Hour)
@@ -120,7 +174,7 @@ func runSim(nodes, days int, seed int64, sink mlog.Sink) (nodefinder.Stats, erro
 	return f.Stats(), nil
 }
 
-func runReal(bootURLs string, duration time.Duration, sink mlog.Sink) (nodefinder.Stats, error) {
+func runReal(bootURLs string, duration time.Duration, sink mlog.Sink, reg *metrics.Registry, metricsIv time.Duration, dump func(time.Time)) (nodefinder.Stats, error) {
 	if bootURLs == "" {
 		return nodefinder.Stats{}, fmt.Errorf("real mode requires -bootnodes")
 	}
@@ -163,10 +217,12 @@ func runReal(bootURLs string, duration time.Duration, sink mlog.Sink) (nodefinde
 	port := uint16(listener.Addr().Port)
 	hello.ListenPort = uint64(port)
 
+	rlpx.EnableMetrics(reg)
 	disc, err := discv4.Listen(discv4.UDPConn{UDPConn: udp}, discv4.Config{
 		Key:         key,
 		AnnounceTCP: port,
 		Bootnodes:   boots,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return nodefinder.Stats{}, err
@@ -180,8 +236,10 @@ func runReal(bootURLs string, duration time.Duration, sink mlog.Sink) (nodefinde
 			Hello:    hello,
 			Status:   status,
 			CheckDAO: true,
+			Metrics:  nodefinder.NewDialerMetrics(reg),
 		},
 		Log:            sink,
+		Metrics:        reg,
 		LookupInterval: time.Second,
 		StaticInterval: 10 * time.Second,
 	})
@@ -189,6 +247,7 @@ func runReal(bootURLs string, duration time.Duration, sink mlog.Sink) (nodefinde
 		return nodefinder.Stats{}, err
 	}
 	listener.Finder = f
+	scheduleDumps(simclock.System{}, metricsIv, dump)
 	for _, b := range boots {
 		if err := disc.Ping(b); err != nil {
 			fmt.Fprintf(os.Stderr, "warning: bootstrap ping %s: %v\n", b.ID.TerminalString(), err)

@@ -4,6 +4,13 @@
 // Usage:
 //
 //	simworld [-nodes N] [-seed S] [-advance DURATION]
+//	simworld -crawl [-days D] [-metrics-interval DURATION]
+//
+// The second form runs a NodeFinder crawl over the world with the
+// metrics registry wired in, dumping a snapshot every interval of
+// virtual time, and finally cross-checks the telemetry against the
+// measurement log: the crawl exits non-zero unless the finder.conns
+// counters equal the mlog record count exactly.
 package main
 
 import (
@@ -13,16 +20,27 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
 	"repro/internal/simnet"
 )
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 1500, "base population size")
-		seed    = flag.Int64("seed", 1, "world seed")
-		advance = flag.Duration("advance", 24*time.Hour, "virtual time to advance (abusive minting happens over time)")
+		nodes     = flag.Int("nodes", 1500, "base population size")
+		seed      = flag.Int64("seed", 1, "world seed")
+		advance   = flag.Duration("advance", 24*time.Hour, "virtual time to advance (abusive minting happens over time)")
+		crawl     = flag.Bool("crawl", false, "run an instrumented NodeFinder crawl over the world")
+		days      = flag.Int("days", 2, "crawl: virtual days to crawl")
+		metricsIv = flag.Duration("metrics-interval", 0, "crawl: dump a metrics snapshot this often in virtual time (implies -crawl)")
 	)
 	flag.Parse()
+
+	if *crawl || *metricsIv > 0 {
+		runCrawl(*nodes, *seed, *days, *metricsIv)
+		return
+	}
 
 	cfg := simnet.DefaultConfig(*seed)
 	cfg.BaseNodes = *nodes
@@ -73,6 +91,64 @@ func main() {
 		fmt.Printf("  %s\n", ip)
 	}
 	os.Exit(0)
+}
+
+// runCrawl runs an instrumented simulated crawl and reconciles the
+// live metrics against the measurement log.
+func runCrawl(nodes int, seed int64, days int, metricsIv time.Duration) {
+	reg := metrics.New()
+	cfg := simnet.DefaultConfig(seed)
+	cfg.BaseNodes = nodes
+	w := simnet.NewWorld(cfg)
+
+	col := mlog.NewCollector()
+	dialer := w.NewDialer(seed + 2)
+	dialer.Metrics = nodefinder.NewDialerMetrics(reg)
+	f, err := nodefinder.New(nodefinder.Config{
+		Clock:     w.Clock,
+		Discovery: w.NewDiscovery(seed + 1),
+		Dialer:    dialer,
+		Log:       col,
+		Metrics:   reg,
+		Seed:      seed + 3,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	gen := w.StartIncoming(f, 20*time.Second, seed+4)
+
+	if metricsIv > 0 {
+		var tick func()
+		tick = func() {
+			fmt.Printf("--- metrics @ %s ---\n", w.Clock.Now().Format(time.RFC3339))
+			reg.WriteTo(os.Stdout) //nolint:errcheck
+			w.Clock.AfterFunc(metricsIv, tick)
+		}
+		w.Clock.AfterFunc(metricsIv, tick)
+	}
+
+	f.Start()
+	for d := 0; d < days; d++ {
+		w.Clock.Advance(24 * time.Hour)
+		fmt.Fprintf(os.Stderr, "day %d/%d: %d identities known\n", d+1, days, f.Stats().KnownNodes)
+	}
+	f.Stop()
+	gen.Stop()
+
+	fmt.Println("--- final metrics ---")
+	reg.WriteTo(os.Stdout) //nolint:errcheck
+
+	// Reconcile telemetry with the measurement log: each recorded
+	// connection must have incremented finder.conns exactly once.
+	snap := reg.Snapshot()
+	attempts := snap.CounterSum("finder.conns")
+	records := uint64(len(col.Entries()))
+	if attempts != records {
+		fmt.Fprintf(os.Stderr, "MISMATCH: finder.conns total %d != %d mlog records\n", attempts, records)
+		os.Exit(1)
+	}
+	fmt.Printf("\nreconciled: finder.conns total %d == %d mlog connection records\n", attempts, records)
 }
 
 func convertKeys[K ~string](m map[K]int) map[string]int {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/crypto/secp256k1"
 	"repro/internal/enode"
+	"repro/internal/metrics"
 )
 
 // Default protocol timing constants, mirroring the values the paper
@@ -74,6 +75,10 @@ type Config struct {
 	RefreshInterval time.Duration
 	// Seed feeds the table's internal shuffling.
 	Seed int64
+	// Metrics, when non-nil, receives live protocol telemetry
+	// (packets in/out by type, table occupancy, bond failures,
+	// lookup convergence). Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Transport is a running discovery endpoint.
@@ -96,6 +101,53 @@ type Transport struct {
 
 	// Stats counts protocol events for the measurement experiments.
 	stats Stats
+	// metrics mirrors stats into the registry for live telemetry;
+	// always non-nil (instruments are nil when disabled).
+	metrics *transportMetrics
+}
+
+// transportMetrics holds the transport's resolved instruments.
+type transportMetrics struct {
+	packetsIn    *metrics.CounterVec // by packet type
+	packetsOut   *metrics.CounterVec
+	badPackets   *metrics.Counter
+	expired      *metrics.Counter
+	unsolicited  *metrics.Counter
+	lookups      *metrics.Counter
+	lookupNodes  *metrics.Histogram // convergence: result size per lookup
+	bondFailures *metrics.Counter
+}
+
+func newTransportMetrics(r *metrics.Registry, table *Table) *transportMetrics {
+	if r != nil {
+		r.GaugeFunc("discv4.table_size", func() int64 { return int64(table.Len()) })
+	}
+	return &transportMetrics{
+		packetsIn:    r.CounterVec("discv4.packets_in"),
+		packetsOut:   r.CounterVec("discv4.packets_out"),
+		badPackets:   r.Counter("discv4.bad_packets"),
+		expired:      r.Counter("discv4.expired_packets"),
+		unsolicited:  r.Counter("discv4.unsolicited_replies"),
+		lookups:      r.Counter("discv4.lookups"),
+		lookupNodes:  r.Histogram("discv4.lookup_nodes"),
+		bondFailures: r.Counter("discv4.bond_failures"),
+	}
+}
+
+// packetName maps a decoded packet to its telemetry label.
+func packetName(pkt any) string {
+	switch pkt.(type) {
+	case *Ping:
+		return "ping"
+	case *Pong:
+		return "pong"
+	case *Findnode:
+		return "findnode"
+	case *Neighbors:
+		return "neighbors"
+	default:
+		return "unknown"
+	}
 }
 
 // Stats are cumulative protocol counters.
@@ -134,6 +186,7 @@ func Listen(conn PacketConn, cfg Config) (*Transport, error) {
 		bondsSent: make(map[enode.ID]time.Time),
 		closed:    make(chan struct{}),
 	}
+	t.metrics = newTransportMetrics(cfg.Metrics, t.table)
 	for _, bn := range cfg.Bootnodes {
 		t.table.AddSeenNode(bn, time.Now())
 	}
@@ -230,8 +283,10 @@ func (t *Transport) handlePacket(buf []byte, from *net.UDPAddr) {
 		t.mu.Lock()
 		t.stats.BadPackets++
 		t.mu.Unlock()
+		t.metrics.badPackets.Inc()
 		return
 	}
+	t.metrics.packetsIn.Inc(packetName(pkt))
 	now := time.Now()
 	switch p := pkt.(type) {
 	case *Ping:
@@ -280,6 +335,7 @@ func (t *Transport) countExpired() {
 	t.mu.Lock()
 	t.stats.ExpiredPackets++
 	t.mu.Unlock()
+	t.metrics.expired.Inc()
 }
 
 func (t *Transport) handlePing(p *Ping, fromID enode.ID, from *net.UDPAddr, hash []byte) {
@@ -350,6 +406,7 @@ func (t *Transport) deliver(from enode.ID, ptype byte, pkt any) {
 	t.pending = kept
 	if !matched {
 		t.stats.UnsolicitedReplies++
+		t.metrics.unsolicited.Inc()
 	}
 }
 
@@ -374,6 +431,7 @@ func (t *Transport) send(to *net.UDPAddr, pkt any) {
 		return
 	}
 	t.conn.WriteTo(dgram, to) //nolint:errcheck // UDP send is fire and forget
+	t.metrics.packetsOut.Inc(packetName(pkt))
 }
 
 // Ping sends a ping and waits for the matching pong.
@@ -402,8 +460,10 @@ func (t *Transport) Ping(n *enode.Node) error {
 	t.mu.Lock()
 	t.stats.PingsSent++
 	t.mu.Unlock()
+	t.metrics.packetsOut.Inc("ping")
 	if err := t.await(errc); err != nil {
 		t.table.FailLiveness(n.ID)
+		t.metrics.bondFailures.Inc()
 		return err
 	}
 	t.table.AddVerifiedNode(n, time.Now())
@@ -491,7 +551,13 @@ func (t *Transport) Lookup(target enode.ID) []*enode.Node {
 	t.mu.Lock()
 	t.stats.Lookups++
 	t.mu.Unlock()
+	t.metrics.lookups.Inc()
+	result := t.lookup(target)
+	t.metrics.lookupNodes.Observe(uint64(len(result)))
+	return result
+}
 
+func (t *Transport) lookup(target enode.ID) []*enode.Node {
 	targetHash := target.Hash()
 	asked := map[enode.ID]bool{t.selfID: true}
 	seen := map[enode.ID]bool{}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of instruments. Instruments are
+// registered lazily: asking for a name creates it on first use and
+// returns the same instance afterwards, so independent subsystems can
+// share counters by agreeing on names.
+//
+// A nil *Registry is the disabled state: every getter returns a nil
+// instrument (whose methods no-op) and Snapshot returns an empty
+// snapshot. This lets call sites instrument unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+	vecs     map[string]*CounterVec
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+		vecs:     make(map[string]*CounterVec),
+	}
+}
+
+// Counter returns the counter registered under name.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// snapshot time (e.g. the size of a table guarded by its own lock).
+// fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the histogram registered under name.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterVec returns the labeled counter family registered under
+// name. Snapshots render each member as name{label}.
+func (r *Registry) CounterVec(name string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.vecs[name]
+	if v == nil {
+		v = &CounterVec{}
+		r.vecs[name] = v
+	}
+	return v
+}
+
+// Snapshot is a point-in-time copy of every instrument, shaped for
+// JSON. Map keys marshal in sorted order, so encoding the same
+// snapshot is deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns a counter's value from the snapshot; vec members
+// are addressed as name{label}.
+func (s *Snapshot) Counter(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// CounterSum sums every counter whose name is prefix or starts with
+// prefix{ — i.e. a whole CounterVec family.
+func (s *Snapshot) CounterSum(prefix string) uint64 {
+	if s == nil {
+		return 0
+	}
+	var sum uint64
+	for name, v := range s.Counters {
+		if name == prefix || strings.HasPrefix(name, prefix+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Snapshot captures the current value of every instrument. GaugeFunc
+// callbacks run outside the registry lock, so they may consult other
+// locked structures (node DBs, routing tables) freely.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	fns := map[string]func() int64{}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, v := range r.vecs {
+		for label, n := range v.Values() {
+			s.Counters[name+"{"+label+"}"] = n
+		}
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFns {
+		fns[name] = fn
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	r.mu.Unlock()
+	for name, fn := range fns {
+		s.Gauges[name] = fn()
+	}
+	return s
+}
+
+// WriteTo writes a human-readable snapshot, one instrument per line,
+// sorted by name. It implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.Snapshot().WriteTo(w)
+}
+
+// WriteJSON writes the snapshot as a single JSON object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteTo writes the snapshot in a human-readable aligned format.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := write("counter  %-46s %12d\n", name, s.Counters[name]); err != nil {
+			return total, err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := write("gauge    %-46s %12d\n", name, s.Gauges[name]); err != nil {
+			return total, err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if err := write("hist     %-46s count=%d mean=%.0f p50=%d p95=%d p99=%d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -49,6 +49,8 @@ type RealDialer struct {
 	// CheckDAO controls whether the fork check runs after a
 	// compatible STATUS.
 	CheckDAO bool
+	// Metrics, when non-nil, receives per-outcome dial telemetry.
+	Metrics *DialerMetrics
 }
 
 // DefaultDialTimeout is Geth's defaultDialTimeout (§4).
@@ -57,7 +59,9 @@ const DefaultDialTimeout = 15 * time.Second
 // Dial implements Dialer.
 func (d *RealDialer) Dial(n *enode.Node, kind mlog.ConnType, done func(*DialResult)) {
 	go func() {
-		done(d.dial(n, kind))
+		res := d.dial(n, kind)
+		d.Metrics.Observe(res)
+		done(res)
 	}()
 }
 

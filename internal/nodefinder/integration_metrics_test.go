@@ -1,0 +1,142 @@
+package nodefinder_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/simnet"
+)
+
+// TestMetricsReconcileWithMlog runs a simulated crawl and checks the
+// acceptance property of the metrics layer: the live telemetry and
+// the measurement log describe the same events. Every finder.conns
+// increment corresponds to exactly one mlog entry, per connection
+// type, and the dialer-level outcome counters cover every outbound
+// attempt.
+func TestMetricsReconcileWithMlog(t *testing.T) {
+	const seed = 7
+	reg := metrics.New()
+	cfg := simnet.DefaultConfig(seed)
+	cfg.BaseNodes = 300
+	w := simnet.NewWorld(cfg)
+
+	col := mlog.NewCollector()
+	dialer := w.NewDialer(seed + 2)
+	dialer.Metrics = nodefinder.NewDialerMetrics(reg)
+	f, err := nodefinder.New(nodefinder.Config{
+		Clock:     w.Clock,
+		Discovery: w.NewDiscovery(seed + 1),
+		Dialer:    dialer,
+		Log:       col,
+		Metrics:   reg,
+		Seed:      seed + 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := w.StartIncoming(f, 30*time.Second, seed+4)
+	f.Start()
+	w.Clock.Advance(8 * time.Hour)
+	f.Stop()
+	gen.Stop()
+
+	entries := col.Entries()
+	if len(entries) == 0 {
+		t.Fatal("simulated crawl produced no mlog entries")
+	}
+	byType := map[mlog.ConnType]uint64{}
+	var okEntries uint64
+	for _, e := range entries {
+		byType[e.ConnType]++
+		if e.Hello != nil {
+			okEntries++
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got, want := snap.CounterSum("finder.conns"), uint64(len(entries)); got != want {
+		t.Errorf("finder.conns total = %d, want %d (mlog entries)", got, want)
+	}
+	for _, ct := range []mlog.ConnType{mlog.ConnDynamicDial, mlog.ConnStaticDial, mlog.ConnIncoming} {
+		name := "finder.conns{" + string(ct) + "}"
+		if got, want := snap.Counter(name), byType[ct]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got, want := snap.CounterSum("finder.conns_ok"), okEntries; got != want {
+		t.Errorf("finder.conns_ok total = %d, want %d (entries with HELLO)", got, want)
+	}
+	if got, want := snap.CounterSum("finder.conns_failed"), uint64(len(entries))-okEntries; got != want {
+		t.Errorf("finder.conns_failed total = %d, want %d", got, want)
+	}
+
+	// The simulated dialer observes every outbound attempt through
+	// the shared DialerMetrics taxonomy; incoming connections bypass
+	// the dialer, so the family sums to dials only.
+	outbound := byType[mlog.ConnDynamicDial] + byType[mlog.ConnStaticDial]
+	if got := snap.CounterSum("dialer.outcomes"); got != outbound {
+		t.Errorf("dialer.outcomes total = %d, want %d (outbound dials)", got, outbound)
+	}
+
+	// Scheduling counters agree with the Finder's own stats.
+	st := f.Stats()
+	if got := snap.Counter("finder.lookups"); got != st.DiscoveryAttempts {
+		t.Errorf("finder.lookups = %d, want %d", got, st.DiscoveryAttempts)
+	}
+	if got := snap.Gauges["finder.known_nodes"]; got != int64(st.KnownNodes) {
+		t.Errorf("finder.known_nodes gauge = %d, want %d", got, st.KnownNodes)
+	}
+	if got := snap.Gauges["finder.static_nodes"]; got != int64(st.StaticListSize) {
+		t.Errorf("finder.static_nodes gauge = %d, want %d", got, st.StaticListSize)
+	}
+
+	// Latency histograms observed every completed connection.
+	if h := snap.Histograms["finder.conn_duration_us"]; h.Count != uint64(len(entries)) {
+		t.Errorf("conn_duration_us count = %d, want %d", h.Count, len(entries))
+	}
+
+	// The snapshot must survive a JSON round trip (what the
+	// -metrics-interval flag emits).
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded metrics.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON did not round-trip: %v", err)
+	}
+	if decoded.Counter("finder.conns{dynamic-dial}") != snap.Counter("finder.conns{dynamic-dial}") {
+		t.Error("round-tripped snapshot lost counter values")
+	}
+}
+
+// TestMetricsDisabled runs the same crawl with no registry: all
+// instrument paths must no-op without panicking.
+func TestMetricsDisabled(t *testing.T) {
+	const seed = 11
+	cfg := simnet.DefaultConfig(seed)
+	cfg.BaseNodes = 100
+	w := simnet.NewWorld(cfg)
+	dialer := w.NewDialer(seed + 2)
+	dialer.Metrics = nodefinder.NewDialerMetrics(nil) // nil registry
+	f, err := nodefinder.New(nodefinder.Config{
+		Clock:     w.Clock,
+		Discovery: w.NewDiscovery(seed + 1),
+		Dialer:    dialer, // and nil Config.Metrics
+		Seed:      seed + 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	w.Clock.Advance(time.Hour)
+	f.Stop()
+	if f.Stats().DiscoveryAttempts == 0 {
+		t.Error("crawl did not run")
+	}
+}

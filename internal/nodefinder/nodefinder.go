@@ -29,6 +29,7 @@ import (
 	"repro/internal/devp2p"
 	"repro/internal/enode"
 	"repro/internal/eth"
+	"repro/internal/metrics"
 	"repro/internal/nodedb"
 	"repro/internal/nodefinder/mlog"
 	"repro/internal/simclock"
@@ -99,6 +100,10 @@ type Config struct {
 	Dialer    Dialer
 	DB        *nodedb.DB
 	Log       mlog.Sink
+	// Metrics, when non-nil, receives live crawl-health telemetry
+	// (dial outcomes by type, error taxonomy, table gauges, latency
+	// histograms). Nil disables instrumentation at near-zero cost.
+	Metrics *metrics.Registry
 
 	LookupInterval  time.Duration
 	StaticInterval  time.Duration
@@ -122,9 +127,10 @@ type Stats struct {
 
 // Finder is the crawler.
 type Finder struct {
-	cfg   Config
-	clock simclock.Clock
-	rng   *rand.Rand
+	cfg     Config
+	clock   simclock.Clock
+	rng     *rand.Rand
+	metrics *finderMetrics
 
 	mu          sync.Mutex
 	running     bool
@@ -171,6 +177,7 @@ func New(cfg Config) (*Finder, error) {
 		cfg:         cfg,
 		clock:       cfg.Clock,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		metrics:     newFinderMetrics(cfg.Metrics, cfg.DB),
 		dialing:     make(map[enode.ID]bool),
 		lastDial:    make(map[enode.ID]time.Time),
 		staticTimer: make(map[enode.ID]simclock.Timer),
@@ -242,6 +249,7 @@ func (f *Finder) runLookup() {
 	}
 	f.stats.DiscoveryAttempts++
 	f.mu.Unlock()
+	f.metrics.lookups.Inc()
 
 	start := f.clock.Now()
 	target := enode.RandomID(f.rng)
@@ -251,6 +259,7 @@ func (f *Finder) runLookup() {
 }
 
 func (f *Finder) onLookupDone(start time.Time, found []*enode.Node) {
+	f.metrics.lookupNodes.Add(uint64(len(found)))
 	now := f.clock.Now()
 	f.mu.Lock()
 	if f.stopped {
@@ -416,7 +425,8 @@ func (f *Finder) scheduleStaleSweep() {
 		if stopped {
 			return
 		}
-		f.cfg.DB.ExpireStale(f.clock.Now(), f.cfg.StaleAfter)
+		expired := f.cfg.DB.ExpireStale(f.clock.Now(), f.cfg.StaleAfter)
+		f.metrics.staleExpired.Add(uint64(expired))
 		f.scheduleStaleSweep()
 	})
 }
@@ -446,8 +456,11 @@ func (f *Finder) HandleIncoming(res *DialResult) {
 	f.record(res)
 }
 
-// record converts a DialResult to a log entry.
+// record converts a DialResult to a log entry. The metrics observe
+// call lives here so the finder.conns counters increment exactly
+// once per mlog entry, keeping telemetry and log reconcilable.
 func (f *Finder) record(res *DialResult) {
+	f.metrics.observe(res)
 	e := &mlog.Entry{
 		Time:       res.Start,
 		ConnType:   res.Kind,

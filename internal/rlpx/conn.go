@@ -39,6 +39,7 @@ type Conn struct {
 // connection toward the node with the given identity.
 func Initiate(fd net.Conn, priv *secp256k1.PrivateKey, remoteID enode.ID) (*Conn, error) {
 	sec, err := initiatorHandshake(fd, priv, remoteID)
+	countHandshake(err)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +50,7 @@ func Initiate(fd net.Conn, priv *secp256k1.PrivateKey, remoteID enode.ID) (*Conn
 // and learns the initiator's identity.
 func Accept(fd net.Conn, priv *secp256k1.PrivateKey) (*Conn, error) {
 	sec, err := recipientHandshake(fd, priv)
+	countHandshake(err)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +94,11 @@ func (c *Conn) WriteMsg(code uint64, payload []byte) error {
 		}
 		payload = enc
 	}
-	return c.rw.WriteMsg(code, payload)
+	err := c.rw.WriteMsg(code, payload)
+	if err == nil {
+		countWrite(len(payload))
+	}
+	return err
 }
 
 // ReadMsg receives one message with the standard read deadline.
@@ -101,6 +107,9 @@ func (c *Conn) ReadMsg() (code uint64, payload []byte, err error) {
 		c.fd.SetReadDeadline(time.Now().Add(time.Duration(d))) //nolint:errcheck
 	}
 	code, payload, err = c.rw.ReadMsg()
+	if err == nil {
+		countRead(len(payload))
+	}
 	if err == nil && c.snappy.Load() && len(payload) > 0 {
 		payload, err = snappy.Decode(payload)
 		if err != nil {

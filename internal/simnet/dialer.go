@@ -93,6 +93,12 @@ func (d *SimDiscovery) Lookup(target enode.ID, done func([]*enode.Node)) {
 type SimDialer struct {
 	W *World
 
+	// Metrics, when non-nil, receives per-outcome dial telemetry
+	// through the same counters (and the same outcome taxonomy) as
+	// nodefinder.RealDialer, so a simulated 82-day run and a real
+	// crawl emit comparable telemetry.
+	Metrics *nodefinder.DialerMetrics
+
 	mu  sync.Mutex
 	rng *rand.Rand
 }
@@ -108,6 +114,7 @@ func (d *SimDialer) Dial(target *enode.Node, kind mlog.ConnType, done func(*node
 	res, dur := d.outcome(target, kind, start)
 	d.W.Clock.AfterFunc(dur, func() {
 		res.Duration = dur
+		d.Metrics.Observe(res)
 		done(res)
 	})
 }
