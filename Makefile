@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench fmt-check ci experiments quickstart clean
+.PHONY: all build vet test race bench bench-crypto fmt-check ci experiments quickstart clean
 
 all: build vet test
 
@@ -33,6 +33,13 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Crypto hot-path benchmarks: the numbers recorded in
+# BENCH_crypto.json come from this target.
+bench-crypto:
+	go test -run='^$$' -bench=. -benchmem ./internal/crypto/...
+	go test -run='^$$' -bench=Packet -benchmem ./internal/discv4
+	go test -run='^$$' -bench=FrameRoundTrip -benchmem ./internal/rlpx
 
 # Regenerate every table/figure and EXPERIMENTS.md (full scale).
 experiments:

@@ -73,13 +73,17 @@ func keccakF1600(a *[25]uint64) {
 
 func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
 
-// digest is the sponge state implementing hash.Hash.
+// digest is the sponge state implementing hash.Hash. Unabsorbed
+// input lives in storage[:bufLen]; tracking a length instead of a
+// slice keeps the struct free of interior pointers, so copies are
+// plain value copies and escape analysis can keep short-lived
+// digests (Sum256, Sum snapshots) on the stack.
 type digest struct {
 	state   [25]uint64
-	buf     []byte // input not yet absorbed; len < rate
-	rate    int    // sponge rate in bytes (block size)
-	size    int    // output size in bytes
-	dsbyte  byte   // domain separation + first padding byte
+	rate    int  // sponge rate in bytes (block size)
+	size    int  // output size in bytes
+	dsbyte  byte // domain separation + first padding byte
+	bufLen  int  // bytes of storage holding unabsorbed input
 	storage [136]byte
 }
 
@@ -95,26 +99,35 @@ func New512() hash.Hash { return newDigest(72, Size512, 0x01) }
 func NewSHA3_256() hash.Hash { return newDigest(136, Size256, 0x06) }
 
 func newDigest(rate, size int, dsbyte byte) *digest {
-	d := &digest{rate: rate, size: size, dsbyte: dsbyte}
-	d.buf = d.storage[:0]
+	d := &digest{}
+	d.init(rate, size, dsbyte)
 	return d
 }
 
-// Sum256 computes the legacy Keccak-256 digest of data.
+func (d *digest) init(rate, size int, dsbyte byte) {
+	d.rate, d.size, d.dsbyte = rate, size, dsbyte
+}
+
+// Sum256 computes the legacy Keccak-256 digest of data. The sponge
+// state lives on the stack and finalize squeezes straight into out,
+// so a call performs no heap allocation.
 func Sum256(data []byte) [Size256]byte {
 	var out [Size256]byte
-	d := New256()
+	var d digest
+	d.init(136, Size256, 0x01)
 	d.Write(data)
-	d.Sum(out[:0])
+	d.finalize(out[:0])
 	return out
 }
 
-// Sum512 computes the legacy Keccak-512 digest of data.
+// Sum512 computes the legacy Keccak-512 digest of data without heap
+// allocation.
 func Sum512(data []byte) [Size512]byte {
 	var out [Size512]byte
-	d := New512()
+	var d digest
+	d.init(72, Size512, 0x01)
 	d.Write(data)
-	d.Sum(out[:0])
+	d.finalize(out[:0])
 	return out
 }
 
@@ -124,19 +137,20 @@ func (d *digest) BlockSize() int { return d.rate }
 
 func (d *digest) Reset() {
 	d.state = [25]uint64{}
-	d.buf = d.storage[:0]
+	d.bufLen = 0
 }
 
 func (d *digest) Write(p []byte) (int, error) {
 	n := len(p)
 	for len(p) > 0 {
-		space := d.rate - len(d.buf)
+		space := d.rate - d.bufLen
 		if space > len(p) {
 			space = len(p)
 		}
-		d.buf = append(d.buf, p[:space]...)
+		copy(d.storage[d.bufLen:], p[:space])
+		d.bufLen += space
 		p = p[space:]
-		if len(d.buf) == d.rate {
+		if d.bufLen == d.rate {
 			d.absorb()
 		}
 	}
@@ -146,31 +160,39 @@ func (d *digest) Write(p []byte) (int, error) {
 // absorb XORs a full rate-sized block into the state and permutes.
 func (d *digest) absorb() {
 	for i := 0; i < d.rate/8; i++ {
-		d.state[i] ^= le64(d.buf[i*8:])
+		d.state[i] ^= le64(d.storage[i*8:])
 	}
 	keccakF1600(&d.state)
-	d.buf = d.storage[:0]
+	d.bufLen = 0
 }
 
-// Sum appends the digest to b without disturbing the running state.
+// Sum appends the digest to b without disturbing the running state:
+// the sponge is a plain value, so a stack copy snapshots it.
 func (d *digest) Sum(b []byte) []byte {
 	dup := *d
-	dup.buf = dup.storage[:len(d.buf)]
-	copy(dup.buf, d.buf)
 	return dup.finalize(b)
 }
 
 func (d *digest) finalize(b []byte) []byte {
 	// Pad: dsbyte, zeros, final 0x80 (multi-rate padding pad10*1).
-	d.buf = append(d.buf, d.dsbyte)
-	for len(d.buf) < d.rate {
-		d.buf = append(d.buf, 0)
+	d.storage[d.bufLen] = d.dsbyte
+	for i := d.bufLen + 1; i < d.rate; i++ {
+		d.storage[i] = 0
 	}
-	d.buf[d.rate-1] |= 0x80
+	d.storage[d.rate-1] |= 0x80
 	d.absorb()
 
-	// Squeeze.
-	out := make([]byte, d.size)
+	// Squeeze directly into b, growing it only if it lacks capacity;
+	// Sum(buf[:0]) with enough room is allocation-free.
+	total := len(b) + d.size
+	var ret []byte
+	if cap(b) >= total {
+		ret = b[:total]
+	} else {
+		ret = make([]byte, total)
+		copy(ret, b)
+	}
+	out := ret[total-d.size:]
 	n := 0
 	for n < d.size {
 		chunk := d.rate
@@ -185,7 +207,7 @@ func (d *digest) finalize(b []byte) []byte {
 			keccakF1600(&d.state)
 		}
 	}
-	return append(b, out...)
+	return ret
 }
 
 func le64(b []byte) uint64 {

@@ -163,6 +163,70 @@ func TestQuickBitFlipChangesDigest(t *testing.T) {
 	}
 }
 
+// The MAC path in rlpx calls Sum into a reused scratch buffer for
+// every frame, and discv4 hashes every datagram twice with Sum256 —
+// both rely on finalize squeezing in place instead of allocating.
+func TestSum256Allocs(t *testing.T) {
+	data := make([]byte, 300)
+	allocs := testing.AllocsPerRun(100, func() {
+		Sum256(data)
+	})
+	if allocs != 0 {
+		t.Errorf("Sum256 allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestSum512Allocs(t *testing.T) {
+	data := make([]byte, 300)
+	allocs := testing.AllocsPerRun(100, func() {
+		Sum512(data)
+	})
+	if allocs != 0 {
+		t.Errorf("Sum512 allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestSumIntoCapacityAllocs(t *testing.T) {
+	d := New256()
+	d.Write([]byte("rolling mac state"))
+	buf := make([]byte, 0, Size256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = d.Sum(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("Sum into capacity allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// Sum must still append after an arbitrary prefix, growing only when
+// the capacity runs out.
+func TestSumAppendSemantics(t *testing.T) {
+	msg := []byte("append semantics")
+	want := Sum256(msg)
+
+	d := New256()
+	d.Write(msg)
+	prefix := []byte{0xAA, 0xBB}
+	got := d.Sum(prefix)
+	if len(got) != 2+Size256 || got[0] != 0xAA || got[1] != 0xBB {
+		t.Fatalf("prefix disturbed: %x", got[:2])
+	}
+	if !bytes.Equal(got[2:], want[:]) {
+		t.Errorf("digest after prefix = %x, want %x", got[2:], want)
+	}
+
+	// Exact capacity: result must reuse the backing array.
+	buf := make([]byte, 2, 2+Size256)
+	copy(buf, prefix)
+	got2 := d.Sum(buf)
+	if &got2[0] != &buf[:1][0] {
+		t.Error("Sum reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(got2[2:], want[:]) {
+		t.Errorf("in-place digest = %x, want %x", got2[2:], want)
+	}
+}
+
 func BenchmarkKeccak256_136(b *testing.B) {
 	data := make([]byte, 136)
 	b.SetBytes(int64(len(data)))

@@ -19,21 +19,25 @@ func Sign(priv *PrivateKey, hash []byte) ([]byte, error) {
 	if len(hash) != 32 {
 		return nil, fmt.Errorf("secp256k1: hash must be 32 bytes, got %d", len(hash))
 	}
-	z := hashToInt(hash)
+	var z, d scalar
+	z.setBig(hashToInt(hash))
+	d.setBig(priv.D)
 	for attempt := 0; attempt < 100; attempt++ {
 		k := rfc6979Nonce(priv, hash, attempt)
-		rp := ScalarBaseMult(k)
-		r := new(big.Int).Mod(rp.X, N)
-		if r.Sign() == 0 {
+		rp := active.scalarBaseMult(k)
+		var r scalar
+		r.setBig(rp.X) // rp.X < p < 2N, so this is rp.X mod N
+		if r.isZero() {
 			continue
 		}
 		// s = k⁻¹ (z + r·d) mod N
-		kinv := new(big.Int).ModInverse(k, N)
-		s := new(big.Int).Mul(r, priv.D)
-		s.Add(s, z)
-		s.Mul(s, kinv)
-		s.Mod(s, N)
-		if s.Sign() == 0 {
+		var ks, kinv, s scalar
+		ks.setBig(k)
+		kinv.inverse(&ks)
+		s.mul(&r, &d)
+		s.add(&s, &z)
+		s.mul(&s, &kinv)
+		if s.isZero() {
 			continue
 		}
 		// Recovery id: bit 0 is the parity of R.y, bit 1 set if
@@ -43,13 +47,13 @@ func Sign(priv *PrivateKey, hash []byte) ([]byte, error) {
 			v |= 2
 		}
 		// Enforce low-S; flipping s negates the parity bit.
-		if s.Cmp(halfN) > 0 {
-			s.Sub(N, s)
+		if s.isHigh() {
+			s.neg(&s)
 			v ^= 1
 		}
 		sig := make([]byte, SignatureLength)
-		r.FillBytes(sig[:32])
-		s.FillBytes(sig[32:64])
+		r.putBytes(sig[:32])
+		s.putBytes(sig[32:64])
 		sig[64] = v
 		return sig, nil
 	}
@@ -57,7 +61,8 @@ func Sign(priv *PrivateKey, hash []byte) ([]byte, error) {
 }
 
 // Verify checks a 64- or 65-byte signature (recovery id ignored)
-// against a 32-byte hash and public key.
+// against a 32-byte hash and public key. The two scalar products are
+// computed in a single Shamir pass: u1·G + u2·Q.
 func Verify(pub *PublicKey, hash, sig []byte) bool {
 	if len(hash) != 32 || (len(sig) != 64 && len(sig) != 65) {
 		return false
@@ -67,13 +72,14 @@ func Verify(pub *PublicKey, hash, sig []byte) bool {
 	if r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(N) >= 0 || s.Cmp(N) >= 0 {
 		return false
 	}
-	z := hashToInt(hash)
-	w := new(big.Int).ModInverse(s, N)
-	u1 := new(big.Int).Mul(z, w)
-	u1.Mod(u1, N)
-	u2 := new(big.Int).Mul(r, w)
-	u2.Mod(u2, N)
-	p := Add(ScalarBaseMult(u1), ScalarMult(&pub.Point, u2))
+	var z, rs, ss, w, u1, u2 scalar
+	z.setBig(hashToInt(hash))
+	rs.setBig(r)
+	ss.setBig(s)
+	w.inverse(&ss)
+	u1.mul(&z, &w)
+	u2.mul(&rs, &w)
+	p := active.doubleScalarBaseMult(u1.toBig(), &pub.Point, u2.toBig())
 	if p.IsInfinity() {
 		return false
 	}
@@ -81,7 +87,9 @@ func Verify(pub *PublicKey, hash, sig []byte) bool {
 }
 
 // RecoverPubkey returns the public key that produced the given
-// recoverable signature over hash. sig is r || s || v.
+// recoverable signature over hash. sig is r || s || v. The recovery
+// equation Q = r⁻¹(s·R − z·G) is evaluated as one Shamir pass over
+// (−z·r⁻¹)·G + (s·r⁻¹)·R.
 func RecoverPubkey(hash, sig []byte) (*PublicKey, error) {
 	if len(hash) != 32 {
 		return nil, fmt.Errorf("secp256k1: hash must be 32 bytes, got %d", len(hash))
@@ -114,12 +122,16 @@ func RecoverPubkey(hash, sig []byte) (*PublicKey, error) {
 	}
 	rp := &Point{x, y}
 
-	// Q = r⁻¹ (s·R − z·G)
-	z := hashToInt(hash)
-	rinv := new(big.Int).ModInverse(r, N)
-	sR := ScalarMult(rp, s)
-	zG := ScalarBaseMult(z)
-	q := ScalarMult(Add(sR, Neg(zG)), rinv)
+	// Q = r⁻¹ (s·R − z·G) = (−z·r⁻¹)·G + (s·r⁻¹)·R
+	var z, rs, ss, rinv, u1, u2 scalar
+	z.setBig(hashToInt(hash))
+	rs.setBig(r)
+	ss.setBig(s)
+	rinv.inverse(&rs)
+	u1.mul(&z, &rinv)
+	u1.neg(&u1)
+	u2.mul(&ss, &rinv)
+	q := active.doubleScalarBaseMult(u1.toBig(), rp, u2.toBig())
 	if q.IsInfinity() {
 		return nil, errors.New("secp256k1: recovered point at infinity")
 	}
@@ -131,24 +143,19 @@ func RecoverPubkey(hash, sig []byte) (*PublicKey, error) {
 }
 
 // liftX computes a curve point's y coordinate from x, choosing the
-// root with the requested parity.
+// root with the requested parity. The square root runs on the
+// fixed-limb field (p ≡ 3 mod 4, so y = (x³+7)^((p+1)/4)).
 func liftX(x *big.Int, odd bool) (*big.Int, error) {
-	// y² = x³ + 7; P ≡ 3 (mod 4), so y = (x³+7)^((P+1)/4).
-	y2 := new(big.Int).Mul(x, x)
-	y2.Mul(y2, x)
-	y2.Add(y2, B)
-	y2.Mod(y2, P)
-	exp := new(big.Int).Add(P, big.NewInt(1))
-	exp.Rsh(exp, 2)
-	y := new(big.Int).Exp(y2, exp, P)
-	// Check that it is actually a square root.
-	check := new(big.Int).Mul(y, y)
-	check.Mod(check, P)
-	if check.Cmp(y2) != 0 {
+	var xf, y2, y fieldElement
+	xf.setBig(x)
+	y2.sqr(&xf)
+	y2.mul(&y2, &xf)
+	y2.add(&y2, &feB)
+	if !y.sqrt(&y2) {
 		return nil, errors.New("secp256k1: x is not on the curve")
 	}
-	if (y.Bit(0) == 1) != odd {
-		y.Sub(P, y)
+	if y.isOdd() != odd {
+		y.neg(&y)
 	}
-	return y, nil
+	return y.toBig(), nil
 }

@@ -1,0 +1,287 @@
+package secp256k1
+
+import (
+	"encoding/binary"
+	"math/big"
+	"math/bits"
+)
+
+// fieldElement is an integer modulo the field prime
+// p = 2^256 − 2^32 − 977, stored as four little-endian uint64 limbs.
+// Every operation leaves its result fully reduced (< p), so equality
+// is plain limb comparison. Like the rest of this package the
+// arithmetic is variable-time by design: this is a measurement stack,
+// not a wallet (see DESIGN.md).
+type fieldElement struct {
+	n [4]uint64
+}
+
+// pC is 2^256 − p = 2^32 + 977. Because p is this close to 2^256,
+// reduction is "folding": v mod p = low 256 bits + pC * high bits.
+const pC = 0x1000003D1
+
+var (
+	feZero = fieldElement{}
+	feOne  = fieldElement{n: [4]uint64{1, 0, 0, 0}}
+	feB    = fieldElement{n: [4]uint64{7, 0, 0, 0}} // curve constant b
+
+	feP = fieldElement{n: [4]uint64{
+		0xFFFFFFFEFFFFFC2F, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF,
+	}}
+
+	// Exponents for Fermat inversion (p−2) and the Tonelli shortcut
+	// square root ((p+1)/4; valid because p ≡ 3 mod 4). Both are
+	// derived from the big.Int P in initFieldConstants so the limb
+	// forms cannot drift from the authoritative parameters.
+	fePMinus2 [4]uint64
+	feSqrtExp [4]uint64
+)
+
+func initFieldConstants() {
+	fePMinus2 = limbsFromBig(new(big.Int).Sub(P, big.NewInt(2)))
+	sqrtExp := new(big.Int).Add(P, big.NewInt(1))
+	sqrtExp.Rsh(sqrtExp, 2)
+	feSqrtExp = limbsFromBig(sqrtExp)
+}
+
+// limbsFromBig converts a non-negative big.Int < 2^256 to limbs.
+func limbsFromBig(x *big.Int) [4]uint64 {
+	var b [32]byte
+	x.FillBytes(b[:])
+	var l [4]uint64
+	for i := 0; i < 4; i++ {
+		l[i] = binary.BigEndian.Uint64(b[(3-i)*8:])
+	}
+	return l
+}
+
+func limbsToBig(l *[4]uint64) *big.Int {
+	var b [32]byte
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint64(b[(3-i)*8:], l[i])
+	}
+	return new(big.Int).SetBytes(b[:])
+}
+
+// setBytes loads a 32-byte big-endian value, reducing mod p. A single
+// conditional subtraction suffices because 2^256 < 2p.
+func (r *fieldElement) setBytes(b *[32]byte) {
+	for i := 0; i < 4; i++ {
+		r.n[i] = binary.BigEndian.Uint64(b[(3-i)*8:])
+	}
+	r.condSubP()
+}
+
+func (r *fieldElement) bytes() [32]byte {
+	var b [32]byte
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint64(b[(3-i)*8:], r.n[i])
+	}
+	return b
+}
+
+// setBig loads a big.Int in [0, 2^256), reducing mod p.
+func (r *fieldElement) setBig(x *big.Int) {
+	r.n = limbsFromBig(x)
+	r.condSubP()
+}
+
+func (r *fieldElement) toBig() *big.Int { return limbsToBig(&r.n) }
+
+func (r *fieldElement) isZero() bool {
+	return r.n[0]|r.n[1]|r.n[2]|r.n[3] == 0
+}
+
+func (r *fieldElement) isOdd() bool { return r.n[0]&1 == 1 }
+
+func (r *fieldElement) equal(a *fieldElement) bool { return r.n == a.n }
+
+func (r *fieldElement) gteP() bool {
+	for i := 3; i >= 0; i-- {
+		if r.n[i] > feP.n[i] {
+			return true
+		}
+		if r.n[i] < feP.n[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// condSubP subtracts p once if r ≥ p. Subtracting p is adding pC and
+// discarding the 2^256 carry.
+func (r *fieldElement) condSubP() {
+	if !r.gteP() {
+		return
+	}
+	var c uint64
+	r.n[0], c = bits.Add64(r.n[0], pC, 0)
+	r.n[1], c = bits.Add64(r.n[1], 0, c)
+	r.n[2], c = bits.Add64(r.n[2], 0, c)
+	r.n[3], _ = bits.Add64(r.n[3], 0, c)
+}
+
+// add sets r = a + b mod p. Result aliasing is allowed.
+func (r *fieldElement) add(a, b *fieldElement) {
+	var c uint64
+	n0, c := bits.Add64(a.n[0], b.n[0], 0)
+	n1, c := bits.Add64(a.n[1], b.n[1], c)
+	n2, c := bits.Add64(a.n[2], b.n[2], c)
+	n3, c := bits.Add64(a.n[3], b.n[3], c)
+	// Fold the 2^256 overflow bit: 2^256 ≡ pC. With canonical inputs
+	// the folded sum cannot overflow again (a+b−2^256+pC < 2^256).
+	n0, c2 := bits.Add64(n0, c*pC, 0)
+	n1, c2 = bits.Add64(n1, 0, c2)
+	n2, c2 = bits.Add64(n2, 0, c2)
+	n3, _ = bits.Add64(n3, 0, c2)
+	r.n = [4]uint64{n0, n1, n2, n3}
+	r.condSubP()
+}
+
+// sub sets r = a − b mod p. Result aliasing is allowed.
+func (r *fieldElement) sub(a, b *fieldElement) {
+	n0, br := bits.Sub64(a.n[0], b.n[0], 0)
+	n1, br := bits.Sub64(a.n[1], b.n[1], br)
+	n2, br := bits.Sub64(a.n[2], b.n[2], br)
+	n3, br := bits.Sub64(a.n[3], b.n[3], br)
+	if br != 0 {
+		// Wrapped: the register value is a−b+2^256; subtracting pC
+		// yields a−b+p, which is in range and cannot underflow.
+		n0, br = bits.Sub64(n0, pC, 0)
+		n1, br = bits.Sub64(n1, 0, br)
+		n2, br = bits.Sub64(n2, 0, br)
+		n3, _ = bits.Sub64(n3, 0, br)
+	}
+	r.n = [4]uint64{n0, n1, n2, n3}
+}
+
+// neg sets r = −a mod p.
+func (r *fieldElement) neg(a *fieldElement) {
+	if a.isZero() {
+		*r = feZero
+		return
+	}
+	var br uint64
+	r.n[0], br = bits.Sub64(feP.n[0], a.n[0], 0)
+	r.n[1], br = bits.Sub64(feP.n[1], a.n[1], br)
+	r.n[2], br = bits.Sub64(feP.n[2], a.n[2], br)
+	r.n[3], _ = bits.Sub64(feP.n[3], a.n[3], br)
+}
+
+// mulSmall sets r = a * k mod p for a small constant k (used for the
+// 2·, 3·, 4·, 8· steps of the point formulas).
+func (r *fieldElement) mulSmall(a *fieldElement, k uint64) {
+	var carry uint64
+	var n [4]uint64
+	for i := 0; i < 4; i++ {
+		h, lo := bits.Mul64(a.n[i], k)
+		v, c := bits.Add64(lo, carry, 0)
+		n[i] = v
+		carry = h + c
+	}
+	// carry < k; fold carry*pC.
+	h, lo := bits.Mul64(carry, pC)
+	var c uint64
+	n[0], c = bits.Add64(n[0], lo, 0)
+	n[1], c = bits.Add64(n[1], h, c)
+	n[2], c = bits.Add64(n[2], 0, c)
+	n[3], c = bits.Add64(n[3], 0, c)
+	n[0] += c * pC // a second wrap leaves the low limb tiny
+	r.n = n
+	r.condSubP()
+}
+
+// mul sets r = a · b mod p. Result aliasing is allowed.
+func (r *fieldElement) mul(a, b *fieldElement) {
+	var t [8]uint64
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(a.n[i], b.n[j])
+			v, c1 := bits.Add64(t[i+j], lo, 0)
+			v, c2 := bits.Add64(v, carry, 0)
+			t[i+j] = v
+			// hi + c1 + c2 cannot overflow: the full accumulation
+			// product + limb + carry is at most 2^128 − 1.
+			carry = hi + c1 + c2
+		}
+		t[i+4] = carry
+	}
+	r.reduce512(&t)
+}
+
+// sqr sets r = a² mod p.
+func (r *fieldElement) sqr(a *fieldElement) { r.mul(a, a) }
+
+// reduce512 reduces a 512-bit product into r using two pC folds.
+func (r *fieldElement) reduce512(t *[8]uint64) {
+	// First fold: s = t[0..3] + pC * t[4..7]. pC is 33 bits, so the
+	// running carry stays below 2^34.
+	var s [4]uint64
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		hi, lo := bits.Mul64(t[4+i], pC)
+		v, c1 := bits.Add64(t[i], lo, 0)
+		v, c2 := bits.Add64(v, carry, 0)
+		s[i] = v
+		carry = hi + c1 + c2
+	}
+	// Second fold: carry*pC < 2^67.
+	hi, lo := bits.Mul64(carry, pC)
+	var c uint64
+	s[0], c = bits.Add64(s[0], lo, 0)
+	s[1], c = bits.Add64(s[1], hi, c)
+	s[2], c = bits.Add64(s[2], 0, c)
+	s[3], c = bits.Add64(s[3], 0, c)
+	// If that still wrapped, the remaining value is < 2^67, so one
+	// more single-limb fold is exact.
+	s[0] += c * pC
+	r.n = s
+	r.condSubP()
+}
+
+// pow sets r = a^exp mod p using a 4-bit fixed window (≈255 squarings
+// plus 64 multiplies); exp is little-endian limbs.
+func (r *fieldElement) pow(a *fieldElement, exp *[4]uint64) {
+	var table [16]fieldElement
+	table[0] = feOne
+	table[1] = *a
+	for i := 2; i < 16; i++ {
+		table[i].mul(&table[i-1], a)
+	}
+	acc := feOne
+	started := false
+	for i := 3; i >= 0; i-- {
+		for shift := 60; shift >= 0; shift -= 4 {
+			if started {
+				acc.sqr(&acc)
+				acc.sqr(&acc)
+				acc.sqr(&acc)
+				acc.sqr(&acc)
+			}
+			nib := (exp[i] >> uint(shift)) & 15
+			if nib != 0 {
+				acc.mul(&acc, &table[nib])
+				started = true
+			}
+		}
+	}
+	*r = acc
+}
+
+// inv sets r = a⁻¹ mod p via Fermat's little theorem (a^(p−2));
+// inv(0) = 0.
+func (r *fieldElement) inv(a *fieldElement) { r.pow(a, &fePMinus2) }
+
+// sqrt sets r to a square root of a and reports whether a is a
+// quadratic residue. p ≡ 3 (mod 4), so the candidate is a^((p+1)/4).
+func (r *fieldElement) sqrt(a *fieldElement) bool {
+	var cand, check fieldElement
+	cand.pow(a, &feSqrtExp)
+	check.sqr(&cand)
+	if !check.equal(a) {
+		return false
+	}
+	*r = cand
+	return true
+}

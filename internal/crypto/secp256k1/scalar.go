@@ -1,0 +1,287 @@
+package secp256k1
+
+import (
+	"encoding/binary"
+	"math/big"
+	"math/bits"
+)
+
+// scalar is an integer modulo the group order N, stored as four
+// little-endian uint64 limbs in plain (non-Montgomery) form and kept
+// fully reduced. Multiplication round-trips through Montgomery form
+// internally; N is not close enough to 2^256 for the field's cheap
+// folding reduction.
+type scalar struct {
+	n [4]uint64
+}
+
+var (
+	scN = scalar{n: [4]uint64{
+		0xBFD25E8CD0364141, 0xBAAEDCE6AF48A03B, 0xFFFFFFFFFFFFFFFE, 0xFFFFFFFFFFFFFFFF,
+	}}
+	scOne = scalar{n: [4]uint64{1, 0, 0, 0}}
+
+	// Montgomery machinery, derived from the big.Int N in
+	// initScalarConstants: R² mod N (for entering Montgomery form),
+	// R mod N (the Montgomery one), −N⁻¹ mod 2^64, plus the plain
+	// constants N−2 (Fermat inversion exponent) and (N−1)/2 (low-S
+	// threshold).
+	scRR      scalar
+	scRmodN   scalar
+	scNPrime  uint64
+	scNMinus2 [4]uint64
+	scHalfN   scalar
+)
+
+func initScalarConstants() {
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	scRmodN.n = limbsFromBig(new(big.Int).Mod(r, N))
+	scRR.n = limbsFromBig(new(big.Int).Mod(new(big.Int).Mul(r, r), N))
+	scNMinus2 = limbsFromBig(new(big.Int).Sub(N, big.NewInt(2)))
+	scHalfN.n = limbsFromBig(halfN)
+
+	// −N⁻¹ mod 2^64 by Newton iteration: each step doubles the number
+	// of correct low bits of the inverse.
+	inv := scN.n[0]
+	for i := 0; i < 5; i++ {
+		inv *= 2 - scN.n[0]*inv
+	}
+	scNPrime = -inv
+}
+
+// setBytes loads a 32-byte big-endian value, reducing mod N. One
+// conditional subtraction suffices because 2^256 < 2N.
+func (r *scalar) setBytes(b *[32]byte) {
+	for i := 0; i < 4; i++ {
+		r.n[i] = binary.BigEndian.Uint64(b[(3-i)*8:])
+	}
+	r.condSubN()
+}
+
+// setBig loads a big.Int in [0, 2^256), reducing mod N.
+func (r *scalar) setBig(x *big.Int) {
+	r.n = limbsFromBig(x)
+	r.condSubN()
+}
+
+func (r *scalar) toBig() *big.Int { return limbsToBig(&r.n) }
+
+// putBytes writes the canonical 32-byte big-endian form into b.
+func (r *scalar) putBytes(b []byte) {
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint64(b[(3-i)*8:], r.n[i])
+	}
+}
+
+func (r *scalar) isZero() bool { return r.n[0]|r.n[1]|r.n[2]|r.n[3] == 0 }
+
+func (r *scalar) equal(a *scalar) bool { return r.n == a.n }
+
+// isHigh reports s > (N−1)/2, the non-canonical half for low-S.
+func (r *scalar) isHigh() bool { return r.cmp(&scHalfN) > 0 }
+
+func (r *scalar) cmp(a *scalar) int {
+	for i := 3; i >= 0; i-- {
+		if r.n[i] > a.n[i] {
+			return 1
+		}
+		if r.n[i] < a.n[i] {
+			return -1
+		}
+	}
+	return 0
+}
+
+func (r *scalar) gteN() bool { return r.cmp(&scN) >= 0 }
+
+func (r *scalar) condSubN() {
+	if !r.gteN() {
+		return
+	}
+	var br uint64
+	r.n[0], br = bits.Sub64(r.n[0], scN.n[0], 0)
+	r.n[1], br = bits.Sub64(r.n[1], scN.n[1], br)
+	r.n[2], br = bits.Sub64(r.n[2], scN.n[2], br)
+	r.n[3], _ = bits.Sub64(r.n[3], scN.n[3], br)
+}
+
+// add sets r = a + b mod N. Result aliasing is allowed.
+func (r *scalar) add(a, b *scalar) {
+	var c uint64
+	r.n[0], c = bits.Add64(a.n[0], b.n[0], 0)
+	r.n[1], c = bits.Add64(a.n[1], b.n[1], c)
+	r.n[2], c = bits.Add64(a.n[2], b.n[2], c)
+	r.n[3], c = bits.Add64(a.n[3], b.n[3], c)
+	if c != 0 || r.gteN() {
+		// With canonical inputs a+b < 2N, so one subtraction is
+		// enough; a 2^256 carry cancels against the borrow.
+		var br uint64
+		r.n[0], br = bits.Sub64(r.n[0], scN.n[0], 0)
+		r.n[1], br = bits.Sub64(r.n[1], scN.n[1], br)
+		r.n[2], br = bits.Sub64(r.n[2], scN.n[2], br)
+		r.n[3], _ = bits.Sub64(r.n[3], scN.n[3], br)
+	}
+}
+
+// neg sets r = −a mod N.
+func (r *scalar) neg(a *scalar) {
+	if a.isZero() {
+		*r = scalar{}
+		return
+	}
+	var br uint64
+	r.n[0], br = bits.Sub64(scN.n[0], a.n[0], 0)
+	r.n[1], br = bits.Sub64(scN.n[1], a.n[1], br)
+	r.n[2], br = bits.Sub64(scN.n[2], a.n[2], br)
+	r.n[3], _ = bits.Sub64(scN.n[3], a.n[3], br)
+}
+
+// montMul sets r = a · b · R⁻¹ mod N (CIOS Montgomery multiplication,
+// R = 2^256). Result aliasing is allowed.
+func montMul(r, a, b *scalar) {
+	var t [4]uint64
+	var tExtra, tHi uint64 // limbs 4 and 5 of the accumulator
+	for i := 0; i < 4; i++ {
+		// t += a[i] * b
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(a.n[i], b.n[j])
+			v, c1 := bits.Add64(t[j], lo, 0)
+			v, c2 := bits.Add64(v, carry, 0)
+			t[j] = v
+			carry = hi + c1 + c2
+		}
+		var c uint64
+		tExtra, c = bits.Add64(tExtra, carry, 0)
+		tHi += c
+
+		// t = (t + m·N) / 2^64 with m chosen to zero the low limb.
+		m := t[0] * scNPrime
+		hi, lo := bits.Mul64(m, scN.n[0])
+		_, c1 := bits.Add64(t[0], lo, 0)
+		carry = hi + c1
+		for j := 1; j < 4; j++ {
+			hi, lo = bits.Mul64(m, scN.n[j])
+			v, c2 := bits.Add64(t[j], lo, 0)
+			v, c3 := bits.Add64(v, carry, 0)
+			t[j-1] = v
+			carry = hi + c2 + c3
+		}
+		var c4 uint64
+		t[3], c4 = bits.Add64(tExtra, carry, 0)
+		tExtra = tHi + c4
+		tHi = 0
+	}
+	r.n = t
+	if tExtra != 0 || r.gteN() {
+		// The CIOS invariant keeps the result below 2N, so a single
+		// subtraction restores canonical form (tExtra absorbs the
+		// borrow when set).
+		var br uint64
+		r.n[0], br = bits.Sub64(r.n[0], scN.n[0], 0)
+		r.n[1], br = bits.Sub64(r.n[1], scN.n[1], br)
+		r.n[2], br = bits.Sub64(r.n[2], scN.n[2], br)
+		r.n[3], _ = bits.Sub64(r.n[3], scN.n[3], br)
+	}
+}
+
+// mul sets r = a · b mod N for plain-form scalars.
+func (r *scalar) mul(a, b *scalar) {
+	var aR scalar
+	montMul(&aR, a, &scRR) // aR = a·R
+	montMul(r, &aR, b)     // aR·b·R⁻¹ = a·b
+}
+
+// inverse sets r = a⁻¹ mod N via Fermat (a^(N−2)) with a 4-bit window
+// over Montgomery form; inverse(0) = 0.
+func (r *scalar) inverse(a *scalar) {
+	var aR scalar
+	montMul(&aR, a, &scRR)
+	var table [16]scalar
+	table[0] = scRmodN // Montgomery one
+	table[1] = aR
+	for i := 2; i < 16; i++ {
+		montMul(&table[i], &table[i-1], &aR)
+	}
+	acc := scRmodN
+	started := false
+	for i := 3; i >= 0; i-- {
+		for shift := 60; shift >= 0; shift -= 4 {
+			if started {
+				montMul(&acc, &acc, &acc)
+				montMul(&acc, &acc, &acc)
+				montMul(&acc, &acc, &acc)
+				montMul(&acc, &acc, &acc)
+			}
+			nib := (scNMinus2[i] >> uint(shift)) & 15
+			if nib != 0 {
+				montMul(&acc, &acc, &table[nib])
+				started = true
+			}
+		}
+	}
+	montMul(r, &acc, &scOne) // leave Montgomery form
+}
+
+// wnafWidth is the window width used for variable-base and dual
+// multiplication: odd digits in ±{1..15}, eight precomputed points.
+const wnafWidth = 5
+
+// wnaf returns the width-w non-adjacent form of s, least significant
+// digit first, with trailing zeros trimmed.
+func (s *scalar) wnaf(w uint) []int8 {
+	// A fifth limb absorbs the temporary overflow when a negative
+	// digit is added back.
+	var k [5]uint64
+	copy(k[:4], s.n[:])
+	out := make([]int8, 0, 257)
+	mask := uint64(1)<<w - 1
+	half := int64(1) << (w - 1)
+	for k[0]|k[1]|k[2]|k[3]|k[4] != 0 {
+		var d int64
+		if k[0]&1 == 1 {
+			d = int64(k[0] & mask)
+			if d > half {
+				d -= int64(1) << w
+			}
+			if d > 0 {
+				limbsSubSmall(&k, uint64(d))
+			} else {
+				limbsAddSmall(&k, uint64(-d))
+			}
+		}
+		out = append(out, int8(d))
+		limbsShr1(&k)
+	}
+	// Trim leading (most-significant) zeros so callers skip empty
+	// doubling iterations.
+	for len(out) > 0 && out[len(out)-1] == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func limbsSubSmall(k *[5]uint64, v uint64) {
+	var br uint64
+	k[0], br = bits.Sub64(k[0], v, 0)
+	k[1], br = bits.Sub64(k[1], 0, br)
+	k[2], br = bits.Sub64(k[2], 0, br)
+	k[3], br = bits.Sub64(k[3], 0, br)
+	k[4], _ = bits.Sub64(k[4], 0, br)
+}
+
+func limbsAddSmall(k *[5]uint64, v uint64) {
+	var c uint64
+	k[0], c = bits.Add64(k[0], v, 0)
+	k[1], c = bits.Add64(k[1], 0, c)
+	k[2], c = bits.Add64(k[2], 0, c)
+	k[3], c = bits.Add64(k[3], 0, c)
+	k[4], _ = bits.Add64(k[4], 0, c)
+}
+
+func limbsShr1(k *[5]uint64) {
+	for i := 0; i < 4; i++ {
+		k[i] = k[i]>>1 | k[i+1]<<63
+	}
+	k[4] >>= 1
+}

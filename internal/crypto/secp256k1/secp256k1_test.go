@@ -312,3 +312,35 @@ func BenchmarkECDH(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkRecoverPubkey(b *testing.B) {
+	k := testKey(b, 44)
+	hash := sha256.Sum256([]byte("bench recover"))
+	sig, err := Sign(k, hash[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverPubkey(hash[:], sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarBaseMult(b *testing.B) {
+	k := testKey(b, 45)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScalarBaseMult(k.D)
+	}
+}
+
+func BenchmarkScalarMult(b *testing.B) {
+	k := testKey(b, 46)
+	p := testKey(b, 47)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScalarMult(&p.Pub.Point, k.D)
+	}
+}

@@ -1,0 +1,143 @@
+package secp256k1
+
+// Precomputed base-point tables, built once at package init from the
+// authoritative big.Int parameters.
+//
+//   - gTable[w][d-1] = d · 16^w · G for d ∈ 1..15: a 4-bit windowed
+//     decomposition of G multiples. ScalarBaseMult becomes at most 64
+//     mixed additions with no doublings at all.
+//   - gOdd[i] = (2i+1) · G for i ∈ 0..7: the odd multiples used by
+//     the width-5 wNAF half of Shamir dual multiplication (Verify,
+//     RecoverPubkey).
+//
+// Memory: 64·15 affine points · 64 bytes = 60 KiB, built in well
+// under a millisecond thanks to batch normalization.
+var (
+	gTable [64][15]affinePoint
+	gOdd   [8]affinePoint
+)
+
+func init() {
+	initFieldConstants()
+	initScalarConstants()
+	buildBaseTables()
+}
+
+func buildBaseTables() {
+	var g affinePoint
+	g.x.setBig(Gx)
+	g.y.setBig(Gy)
+
+	// windowBase walks 16^w·G; every table entry stays finite because
+	// d·16^w < N for all d ≤ 15, w ≤ 63.
+	var windowBase jacPoint
+	windowBase.setAffine(&g)
+	jacs := make([]jacPoint, 0, 64*15)
+	for w := 0; w < 64; w++ {
+		entry := windowBase
+		jacs = append(jacs, entry)
+		for d := 2; d <= 15; d++ {
+			entry.add(&entry, &windowBase)
+			jacs = append(jacs, entry)
+		}
+		windowBase.double(&windowBase)
+		windowBase.double(&windowBase)
+		windowBase.double(&windowBase)
+		windowBase.double(&windowBase)
+	}
+	aff := batchToAffine(jacs)
+	for w := 0; w < 64; w++ {
+		copy(gTable[w][:], aff[w*15:(w+1)*15])
+	}
+	for i := 0; i < 8; i++ {
+		gOdd[i] = gTable[0][2*i] // (2i+1)·G
+	}
+}
+
+// scalarBaseMultJac computes k·G by walking the windowed table: one
+// mixed addition per non-zero nibble of k.
+func scalarBaseMultJac(k *scalar) jacPoint {
+	var acc jacPoint
+	for w := 0; w < 64; w++ {
+		nib := (k.n[w/16] >> uint((w%16)*4)) & 15
+		if nib != 0 {
+			acc.addMixed(&acc, &gTable[w][nib-1])
+		}
+	}
+	return acc
+}
+
+// scalarMultJac computes k·P with width-5 wNAF: ~256 doublings plus
+// ~43 additions against eight precomputed odd multiples of P.
+func scalarMultJac(p *jacPoint, k *scalar) jacPoint {
+	naf := k.wnaf(wnafWidth)
+	if len(naf) == 0 || p.isInf() {
+		return jacPoint{}
+	}
+	var tbl [8]jacPoint // 1P, 3P, …, 15P
+	tbl[0] = *p
+	var dbl jacPoint
+	dbl.double(p)
+	for i := 1; i < 8; i++ {
+		tbl[i].add(&tbl[i-1], &dbl)
+	}
+	var acc jacPoint
+	for i := len(naf) - 1; i >= 0; i-- {
+		acc.double(&acc)
+		if d := naf[i]; d > 0 {
+			acc.add(&acc, &tbl[d/2])
+		} else if d < 0 {
+			neg := tbl[(-d)/2]
+			neg.negAssign()
+			acc.add(&acc, &neg)
+		}
+	}
+	return acc
+}
+
+// doubleScalarMultJac computes u1·G + u2·Q in one Shamir/Straus
+// interleaved pass: a single shared doubling chain, with G digits
+// resolved as cheap mixed additions against the static gOdd table and
+// Q digits against eight odd multiples of Q.
+func doubleScalarMultJac(u1 *scalar, q *jacPoint, u2 *scalar) jacPoint {
+	naf1 := u1.wnaf(wnafWidth)
+	naf2 := u2.wnaf(wnafWidth)
+	var qtbl [8]jacPoint // 1Q, 3Q, …, 15Q
+	if q.isInf() {
+		naf2 = nil
+	} else if len(naf2) > 0 {
+		qtbl[0] = *q
+		var dbl jacPoint
+		dbl.double(q)
+		for i := 1; i < 8; i++ {
+			qtbl[i].add(&qtbl[i-1], &dbl)
+		}
+	}
+	n := len(naf1)
+	if len(naf2) > n {
+		n = len(naf2)
+	}
+	var acc jacPoint
+	for i := n - 1; i >= 0; i-- {
+		acc.double(&acc)
+		if i < len(naf1) {
+			if d := naf1[i]; d > 0 {
+				acc.addMixed(&acc, &gOdd[d/2])
+			} else if d < 0 {
+				neg := gOdd[(-d)/2]
+				neg.y.neg(&neg.y)
+				acc.addMixed(&acc, &neg)
+			}
+		}
+		if i < len(naf2) {
+			if d := naf2[i]; d > 0 {
+				acc.add(&acc, &qtbl[d/2])
+			} else if d < 0 {
+				neg := qtbl[(-d)/2]
+				neg.negAssign()
+				acc.add(&acc, &neg)
+			}
+		}
+	}
+	return acc
+}

@@ -1,0 +1,62 @@
+package discv4
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// benchPing is a representative discovery packet: every crawl dial is
+// preceded by at least one ping/pong exchange, so the sign-on-encode
+// and recover-on-decode below are the discovery layer's crypto cost.
+func benchPing() *Ping {
+	return &Ping{
+		Version:    Version,
+		From:       Endpoint{IP: net.IPv4(10, 0, 0, 1), UDP: 30301, TCP: 30303},
+		To:         Endpoint{IP: net.IPv4(10, 0, 0, 2), UDP: 30301, TCP: 30303},
+		Expiration: uint64(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC).Unix()),
+	}
+}
+
+func BenchmarkPacketEncode(b *testing.B) {
+	k := testKey(b, 90)
+	ping := benchPing()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EncodePacket(k, ping); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketDecode(b *testing.B) {
+	k := testKey(b, 91)
+	dgram, _, err := EncodePacket(k, benchPing())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := DecodePacket(dgram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketSignRoundTrip is the full encode+decode pair — one
+// signature and one recovery — i.e. the per-packet crypto budget of
+// the discv4 wire protocol.
+func BenchmarkPacketSignRoundTrip(b *testing.B) {
+	k := testKey(b, 92)
+	ping := benchPing()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dgram, _, err := EncodePacket(k, ping)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := DecodePacket(dgram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -29,10 +29,16 @@ var zeroHeader = []byte{0xC2, 0x80, 0x80}
 
 // macState is one direction's rolling MAC: a running Keccak-256
 // absorbing frame ciphertext, combined with an AES-ECB step keyed by
-// the MAC secret.
+// the MAC secret. The scratch arrays are reused across frames, which
+// is safe because each direction of a Conn is driven by at most one
+// goroutine (see Conn); results returned by the compute methods are
+// only valid until the next MAC operation on the same state.
 type macState struct {
 	hash  hash.Hash
 	block cipher.Block
+	sum   [32]byte // hash.Sum destination, reused every call
+	seed  [16]byte // frame-MAC seed, kept out of sum's way
+	aes   [16]byte // AES-ECB output for the update step
 }
 
 func newMACState(macSecret []byte) *macState {
@@ -51,29 +57,32 @@ func (m *macState) computeHeaderMAC(headerCiphertext []byte) []byte {
 // computeFrameMAC advances the MAC over frame ciphertext.
 func (m *macState) computeFrameMAC(frameCiphertext []byte) []byte {
 	m.hash.Write(frameCiphertext)
-	seed := m.hash.Sum(nil)[:16]
-	return m.update(seed)
+	copy(m.seed[:], m.hash.Sum(m.sum[:0]))
+	return m.update(m.seed[:])
 }
 
 // update implements the odd RLPx MAC step: AES-encrypt the current
 // digest, XOR with the seed, absorb, and return the new digest half.
 func (m *macState) update(seed []byte) []byte {
-	buf := make([]byte, 16)
-	m.block.Encrypt(buf, m.hash.Sum(nil)[:16])
-	for i := range buf {
-		buf[i] ^= seed[i]
+	m.block.Encrypt(m.aes[:], m.hash.Sum(m.sum[:0])[:16])
+	for i := range m.aes {
+		m.aes[i] ^= seed[i]
 	}
-	m.hash.Write(buf)
-	return m.hash.Sum(nil)[:16]
+	m.hash.Write(m.aes[:])
+	return m.hash.Sum(m.sum[:0])[:16]
 }
 
 // frameRW encrypts and authenticates frames in both directions.
+// wbuf and headbuf are per-direction scratch reused across frames;
+// the Conn contract of one goroutine per direction makes that safe.
 type frameRW struct {
-	conn io.ReadWriter
-	enc  cipher.Stream // egress AES-CTR keystream
-	dec  cipher.Stream // ingress AES-CTR keystream
-	em   *macState
-	im   *macState
+	conn    io.ReadWriter
+	enc     cipher.Stream // egress AES-CTR keystream
+	dec     cipher.Stream // ingress AES-CTR keystream
+	em      *macState
+	im      *macState
+	wbuf    []byte   // whole egress wire frame: header|hmac|frame|fmac
+	headbuf [32]byte // ingress header ciphertext + MAC
 }
 
 func newFrameRW(conn io.ReadWriter, s *secrets) *frameRW {
@@ -93,46 +102,58 @@ func newFrameRW(conn io.ReadWriter, s *secrets) *frameRW {
 }
 
 // WriteMsg frames one message: code plus pre-encoded RLP payload.
+// The wire image is assembled in rw.wbuf, which is reused across
+// calls and only grows.
 func (rw *frameRW) WriteMsg(code uint64, payload []byte) error {
-	codeBytes := rlp.AppendUint(nil, code)
+	var codeArr [9]byte
+	codeBytes := rlp.AppendUint(codeArr[:0], code)
 	frameSize := len(codeBytes) + len(payload)
 	if frameSize > MaxFrameSize {
 		return ErrFrameTooBig
 	}
-
-	// Header: 3-byte size, zero header-data, zero padding to 16.
-	header := make([]byte, 16)
-	header[0] = byte(frameSize >> 16)
-	header[1] = byte(frameSize >> 8)
-	header[2] = byte(frameSize)
-	copy(header[3:], zeroHeader)
-	rw.enc.XORKeyStream(header, header)
-	headerMAC := rw.em.computeHeaderMAC(header)
-
-	// Frame data padded to a 16-byte boundary.
 	padded := frameSize
 	if over := frameSize % 16; over != 0 {
 		padded += 16 - over
 	}
-	frame := make([]byte, padded)
-	copy(frame, codeBytes)
-	copy(frame[len(codeBytes):], payload)
-	rw.enc.XORKeyStream(frame, frame)
-	frameMAC := rw.em.computeFrameMAC(frame)
+	total := 32 + padded + 16
+	if cap(rw.wbuf) < total {
+		rw.wbuf = make([]byte, total)
+	}
+	wbuf := rw.wbuf[:total]
 
-	out := make([]byte, 0, 32+len(frame)+16)
-	out = append(out, header...)
-	out = append(out, headerMAC...)
-	out = append(out, frame...)
-	out = append(out, frameMAC...)
-	_, err := rw.conn.Write(out)
+	// Header: 3-byte size, zero header-data, zero padding to 16. The
+	// tail must be cleared explicitly since the buffer is reused.
+	header := wbuf[:16]
+	header[0] = byte(frameSize >> 16)
+	header[1] = byte(frameSize >> 8)
+	header[2] = byte(frameSize)
+	copy(header[3:], zeroHeader)
+	for i := 3 + len(zeroHeader); i < 16; i++ {
+		header[i] = 0
+	}
+	rw.enc.XORKeyStream(header, header)
+	// The MAC result aliases macState scratch; copy it into the wire
+	// buffer before the frame MAC runs.
+	copy(wbuf[16:32], rw.em.computeHeaderMAC(header))
+
+	// Frame data padded to a 16-byte boundary; clear the stale tail.
+	frame := wbuf[32 : 32+padded]
+	n := copy(frame, codeBytes)
+	n += copy(frame[n:], payload)
+	for i := n; i < padded; i++ {
+		frame[i] = 0
+	}
+	rw.enc.XORKeyStream(frame, frame)
+	copy(wbuf[32+padded:], rw.em.computeFrameMAC(frame))
+
+	_, err := rw.conn.Write(wbuf)
 	return err
 }
 
 // ReadMsg reads and authenticates one frame, returning the message
 // code and payload.
 func (rw *frameRW) ReadMsg() (code uint64, payload []byte, err error) {
-	headbuf := make([]byte, 32)
+	headbuf := rw.headbuf[:]
 	if _, err := io.ReadFull(rw.conn, headbuf); err != nil {
 		return 0, nil, err
 	}
@@ -149,6 +170,8 @@ func (rw *frameRW) ReadMsg() (code uint64, payload []byte, err error) {
 	if over := frameSize % 16; over != 0 {
 		padded += 16 - over
 	}
+	// framebuf is freshly allocated on purpose: the returned payload
+	// aliases it and is owned by the caller after ReadMsg returns.
 	framebuf := make([]byte, padded+16)
 	if _, err := io.ReadFull(rw.conn, framebuf); err != nil {
 		return 0, nil, fmt.Errorf("rlpx: reading frame: %w", err)
