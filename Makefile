@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-crypto fmt-check ci experiments quickstart clean
+.PHONY: all build vet test race bench bench-crypto fmt-check ci experiments quickstart clean fuzz-smoke chaos
 
 all: build vet test
 
@@ -11,7 +11,22 @@ fmt-check:
 	fi
 
 # Reproduce the full CI pipeline (.github/workflows/ci.yml) locally.
-ci: fmt-check build vet test race bench-smoke
+ci: fmt-check build vet test race bench-smoke fuzz-smoke chaos
+
+# 30 seconds of coverage-guided fuzzing per untrusted-input decoder.
+# Each target also replays its committed regression corpus first.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/rlp
+	go test -run='^$$' -fuzz=FuzzDecodePacket -fuzztime=$(FUZZTIME) ./internal/discv4
+	go test -run='^$$' -fuzz=FuzzReadHello -fuzztime=$(FUZZTIME) ./internal/devp2p
+	go test -run='^$$' -fuzz=FuzzDecodeDisconnect -fuzztime=$(FUZZTIME) ./internal/devp2p
+	go test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/snappy
+
+# The faultnet chaos suite: hostile peer taxonomy + the mixed
+# honest/hostile 215-node crawl, under the race detector.
+chaos:
+	go test -race -count=1 -run='TestHostileTaxonomy|TestChaosCrawl' ./internal/faultnet
 
 # One-iteration benchmark pass: catches benchmarks that no longer
 # compile or panic, without the cost of real measurement.

@@ -28,9 +28,14 @@ func main() {
 	}
 
 	entries, err := mlog.ReadFile(flag.Arg(0))
-	if err != nil {
+	if err != nil && len(entries) == 0 {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if err != nil {
+		// A crashed crawl leaves a truncated final line; the records
+		// before it are still a valid (partial) measurement.
+		fmt.Fprintln(os.Stderr, "warning: log damaged, analyzing partial records:", err)
 	}
 	fmt.Printf("%d log entries\n", len(entries))
 

@@ -34,16 +34,18 @@ func main() {
 		crawl     = flag.Bool("crawl", false, "run an instrumented NodeFinder crawl over the world")
 		days      = flag.Int("days", 2, "crawl: virtual days to crawl")
 		metricsIv = flag.Duration("metrics-interval", 0, "crawl: dump a metrics snapshot this often in virtual time (implies -crawl)")
+		hostileFr = flag.Float64("hostile-fraction", 0, "share of the population running faultnet hostile peer behaviors")
 	)
 	flag.Parse()
 
 	if *crawl || *metricsIv > 0 {
-		runCrawl(*nodes, *seed, *days, *metricsIv)
+		runCrawl(*nodes, *seed, *days, *metricsIv, *hostileFr)
 		return
 	}
 
 	cfg := simnet.DefaultConfig(*seed)
 	cfg.BaseNodes = *nodes
+	cfg.HostileFraction = *hostileFr
 	w := simnet.NewWorld(cfg)
 	w.Clock.Advance(*advance)
 	now := w.Clock.Now()
@@ -51,8 +53,11 @@ func main() {
 	services := map[simnet.Service]int{}
 	clients := map[simnet.ClientType]int{}
 	networks := map[string]int{}
-	reachable, online, abusive, mainnet := 0, 0, 0, 0
+	reachable, online, abusive, mainnet, hostile := 0, 0, 0, 0, 0
 	for _, n := range w.Nodes {
+		if n.Hostile {
+			hostile++
+		}
 		services[n.Service]++
 		if n.Service == simnet.SvcEth {
 			clients[n.Client]++
@@ -75,8 +80,8 @@ func main() {
 	}
 
 	fmt.Printf("World seed=%d at %s (+%s virtual)\n", *seed, now.Format(time.RFC3339), *advance)
-	fmt.Printf("Identities: %d total, %d online now, %d reachable, %d abusive, %d genuine Mainnet\n",
-		len(w.Nodes), online, reachable, abusive, mainnet)
+	fmt.Printf("Identities: %d total, %d online now, %d reachable, %d abusive, %d hostile, %d genuine Mainnet\n",
+		len(w.Nodes), online, reachable, abusive, hostile, mainnet)
 	fmt.Printf("Mainnet head: block %d\n\n", w.Mainnet.HeadAt(now))
 
 	fmt.Println("Services:")
@@ -95,10 +100,11 @@ func main() {
 
 // runCrawl runs an instrumented simulated crawl and reconciles the
 // live metrics against the measurement log.
-func runCrawl(nodes int, seed int64, days int, metricsIv time.Duration) {
+func runCrawl(nodes int, seed int64, days int, metricsIv time.Duration, hostileFr float64) {
 	reg := metrics.New()
 	cfg := simnet.DefaultConfig(seed)
 	cfg.BaseNodes = nodes
+	cfg.HostileFraction = hostileFr
 	w := simnet.NewWorld(cfg)
 
 	col := mlog.NewCollector()

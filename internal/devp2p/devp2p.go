@@ -37,6 +37,16 @@ const (
 // ethnode enable it when negotiated.
 const Version = 5
 
+// MaxHelloSize bounds the encoded HELLO payload accepted from a peer.
+// Real HELLOs are a few hundred bytes (client name, a handful of
+// caps); a multi-kilobyte one is a hostile peer padding the message,
+// and is rejected before the reflection-driven RLP decode walks it.
+const MaxHelloSize = 4096
+
+// MaxDisconnectSize bounds the DISCONNECT payload worth parsing; the
+// legitimate encodings are at most a few bytes.
+const MaxDisconnectSize = 64
+
 // DisconnectReason is the reason code in a DISCONNECT message.
 type DisconnectReason uint64
 
@@ -116,6 +126,7 @@ type MsgReadWriter interface {
 var (
 	ErrUnexpectedMessage = errors.New("devp2p: unexpected message before hello")
 	ErrNoCommonProtocol  = errors.New("devp2p: no matching subprotocols")
+	ErrMsgTooBig         = errors.New("devp2p: message exceeds size limit")
 )
 
 // DisconnectError wraps the reason a peer gave for disconnecting.
@@ -144,6 +155,9 @@ func ReadHello(rw MsgReadWriter) (*Hello, error) {
 	}
 	switch code {
 	case HelloMsg:
+		if len(payload) > MaxHelloSize {
+			return nil, fmt.Errorf("%w: hello is %d bytes (max %d)", ErrMsgTooBig, len(payload), MaxHelloSize)
+		}
 		var h Hello
 		if err := rlp.DecodeBytes(payload, &h); err != nil {
 			return nil, fmt.Errorf("devp2p: decoding hello: %w", err)
@@ -176,9 +190,11 @@ func SendDisconnect(rw MsgReadWriter, reason DisconnectReason) error {
 
 // DecodeDisconnect parses a DISCONNECT payload, accepting both the
 // spec's list form [reason] and the bare-integer form some clients
-// emit, and an empty payload (reason 0).
+// emit, and an empty payload (reason 0). Oversized or undecodable
+// payloads degrade to DiscRequested rather than failing: the session
+// is over either way, and hostile padding earns no error path.
 func DecodeDisconnect(payload []byte) DisconnectReason {
-	if len(payload) == 0 {
+	if len(payload) == 0 || len(payload) > MaxDisconnectSize {
 		return DiscRequested
 	}
 	var list []uint64

@@ -1,0 +1,66 @@
+package discv4
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/enode"
+)
+
+// FuzzDecodePacket throws arbitrary datagrams at the discovery
+// packet parser — the single most exposed decoder in the crawler,
+// fed directly from an unauthenticated UDP socket. Invariants: no
+// panic, and for the valid seed packets the round trip recovers the
+// signer.
+func FuzzDecodePacket(f *testing.F) {
+	key, err := secp256k1.GenerateKey(rand.New(rand.NewSource(42)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	exp := uint64(time.Date(2018, 4, 18, 0, 0, 0, 0, time.UTC).Unix())
+	ep := Endpoint{IP: net.IPv4(10, 0, 0, 1), UDP: 30303, TCP: 30303}
+	var target enode.ID
+	target[0] = 0xAB
+	for _, pkt := range []any{
+		&Ping{Version: Version, From: ep, To: ep, Expiration: exp},
+		&Pong{To: ep, ReplyTok: make([]byte, 32), Expiration: exp},
+		&Findnode{Target: target, Expiration: exp},
+		&Neighbors{Nodes: []RPCNode{{IP: ep.IP, UDP: 30303, TCP: 30303, ID: target}}, Expiration: exp},
+	} {
+		datagram, _, err := EncodePacket(key, pkt)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(datagram)
+	}
+	// Malformed shapes: undersized, type byte only, huge RLP length
+	// announcements past a correct-looking head.
+	f.Add([]byte{})
+	f.Add(make([]byte, headSize))
+	f.Add(append(make([]byte, headSize), 0x01))
+	f.Add(append(append(make([]byte, headSize), PingPacket), 0xBF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, fromID, hash, err := DecodePacket(data)
+		if err != nil {
+			return
+		}
+		// A packet that verifies must have a plausible shape: a known
+		// payload type, a 32-byte hash, and a non-zero recovered ID
+		// (the zero ID has no valid public key).
+		switch pkt.(type) {
+		case *Ping, *Pong, *Findnode, *Neighbors:
+		default:
+			t.Fatalf("accepted packet decoded to %T", pkt)
+		}
+		if len(hash) != macSize {
+			t.Fatalf("hash length %d", len(hash))
+		}
+		if fromID == (enode.ID{}) {
+			t.Fatal("accepted packet with zero sender ID")
+		}
+	})
+}

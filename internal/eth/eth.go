@@ -148,12 +148,23 @@ func (h *HashOrNumber) DecodeRLP(s *rlp.Stream) error {
 	return err
 }
 
+// Message-size bounds for untrusted input. A legitimate STATUS is
+// under 200 bytes (the TD of a real chain fits in a dozen); a
+// BLOCK_HEADERS response is bounded by the header count NodeFinder
+// ever requests. Payloads beyond these are hostile padding and are
+// rejected before RLP decoding.
+const (
+	MaxStatusSize  = 4096
+	MaxHeadersSize = 1 << 19
+)
+
 // Handshake errors, classified the way NodeFinder's logs need them.
 var (
 	ErrNetworkMismatch  = errors.New("eth: network ID mismatch")
 	ErrGenesisMismatch  = errors.New("eth: genesis hash mismatch")
 	ErrProtocolMismatch = errors.New("eth: protocol version mismatch")
 	ErrNoStatus         = errors.New("eth: peer sent non-status message first")
+	ErrMsgTooBig        = errors.New("eth: message exceeds size limit")
 )
 
 // SendStatus writes a STATUS message at the negotiated code offset.
@@ -176,6 +187,9 @@ func ReadStatus(rw devp2p.MsgReadWriter, offset uint64) (*Status, error) {
 	case devp2p.DiscMsg:
 		return nil, devp2p.DisconnectError{Reason: devp2p.DecodeDisconnect(payload)}
 	case offset + StatusMsg:
+		if len(payload) > MaxStatusSize {
+			return nil, fmt.Errorf("%w: status is %d bytes (max %d)", ErrMsgTooBig, len(payload), MaxStatusSize)
+		}
 		var s Status
 		if err := rlp.DecodeBytes(payload, &s); err != nil {
 			return nil, fmt.Errorf("eth: decoding status: %w", err)
@@ -220,6 +234,9 @@ func ReadHeaders(rw devp2p.MsgReadWriter, offset uint64) ([]*chain.Header, error
 		}
 		switch code {
 		case offset + BlockHeadersMsg:
+			if len(payload) > MaxHeadersSize {
+				return nil, fmt.Errorf("%w: headers response is %d bytes (max %d)", ErrMsgTooBig, len(payload), MaxHeadersSize)
+			}
 			var headers []*chain.Header
 			if err := rlp.DecodeBytes(payload, &headers); err != nil {
 				return nil, fmt.Errorf("eth: decoding headers: %w", err)

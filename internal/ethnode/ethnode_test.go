@@ -17,6 +17,7 @@ import (
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
 	"repro/internal/rlpx"
+	"repro/internal/testutil/leakcheck"
 )
 
 func testKey(t testing.TB, seed int64) *secp256k1.PrivateKey {
@@ -82,6 +83,7 @@ func dialWith(d *nodefinder.RealDialer, target *Node) *nodefinder.DialResult {
 }
 
 func TestFullHandshakeChain(t *testing.T) {
+	leakcheck.Check(t)
 	n := startNode(t, 1, Config{})
 	res := dialWith(crawlerDialer(t, 100, true), n)
 	if res.Err != nil {
@@ -109,6 +111,7 @@ func TestFullHandshakeChain(t *testing.T) {
 }
 
 func TestDAOOpposedDetected(t *testing.T) {
+	leakcheck.Check(t)
 	classic := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "mainnet-sim", DAOFork: false})
 	classic.ExtendTo(chain.DAOForkBlock + 30)
 	n := startNode(t, 2, Config{Chain: classic})
@@ -165,6 +168,7 @@ func holdSession(t *testing.T, seed int64, target *Node, release <-chan struct{}
 }
 
 func TestTooManyPeersDisconnect(t *testing.T) {
+	leakcheck.Check(t)
 	n := startNode(t, 5, Config{MaxPeers: 1})
 	release := make(chan struct{})
 	ready := make(chan error, 1)
@@ -187,6 +191,7 @@ func TestTooManyPeersDisconnect(t *testing.T) {
 }
 
 func TestUselessPeerStillYieldsHello(t *testing.T) {
+	leakcheck.Check(t)
 	// When we advertise only bzz, the eth node rejects us as useless
 	// — but NodeFinder already captured the HELLO, which is all the
 	// DEVp2p census needs.
@@ -203,6 +208,7 @@ func TestUselessPeerStillYieldsHello(t *testing.T) {
 }
 
 func TestGenesisMismatchStillYieldsStatus(t *testing.T) {
+	leakcheck.Check(t)
 	other := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "other-chain", Length: 5})
 	n := startNode(t, 8, Config{Chain: other})
 	res := dialWith(crawlerDialer(t, 106, false), n)
@@ -215,6 +221,7 @@ func TestGenesisMismatchStillYieldsStatus(t *testing.T) {
 }
 
 func TestNonEthServiceNode(t *testing.T) {
+	leakcheck.Check(t)
 	// A Swarm-only node (no chain): HELLO works, then it cuts us off
 	// as useless. These are the paper's "non-productive peers".
 	n := startNode(t, 9, Config{
@@ -254,6 +261,7 @@ func TestNonEthServiceNode(t *testing.T) {
 }
 
 func TestDiscoveryIntegration(t *testing.T) {
+	leakcheck.Check(t)
 	boot := startNode(t, 11, Config{Discovery: true})
 	n1 := startNode(t, 12, Config{Discovery: true, Bootnodes: []*enode.Node{boot.Self()}})
 	n2 := startNode(t, 13, Config{Discovery: true, Bootnodes: []*enode.Node{boot.Self()}})
@@ -281,6 +289,7 @@ func TestDiscoveryIntegration(t *testing.T) {
 }
 
 func TestEndToEndCrawl(t *testing.T) {
+	leakcheck.Check(t)
 	// The headline integration test: a NodeFinder over the REAL
 	// stack (discv4 + RLPx + DEVp2p + eth over loopback sockets)
 	// crawls a small world and produces census-grade logs.

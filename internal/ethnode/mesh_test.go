@@ -10,6 +10,7 @@ import (
 	"repro/internal/enode"
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
+	"repro/internal/testutil/leakcheck"
 )
 
 // TestMeshFormsAndBroadcastsTransactions exercises the full client
@@ -17,6 +18,7 @@ import (
 // fill peer slots, and broadcast transactions — the traffic the §3
 // case study instruments.
 func TestMeshFormsAndBroadcastsTransactions(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("integration test")
 	}
@@ -79,6 +81,7 @@ func TestMeshFormsAndBroadcastsTransactions(t *testing.T) {
 // listener accepts a connection initiated by an ethnode's dial loop
 // and records the peer's HELLO and STATUS.
 func TestIncomingListenerCapturesDialingNodes(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("integration test")
 	}
@@ -162,6 +165,7 @@ func TestIncomingListenerCapturesDialingNodes(t *testing.T) {
 // with 9 attached peers, the √n center must send roughly a third of
 // what the broadcast-to-all center sends.
 func TestParityRelayPolicySqrt(t *testing.T) {
+	leakcheck.Check(t)
 	runCenter := func(seedBase int64, relay TxRelayPolicy) uint64 {
 		center := startNode(t, seedBase, Config{
 			TxInterval: 50 * time.Millisecond,

@@ -1,0 +1,323 @@
+package faultnet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/crypto/secp256k1"
+	"repro/internal/devp2p"
+	"repro/internal/enode"
+	"repro/internal/ethnode"
+	"repro/internal/faultnet"
+	"repro/internal/metrics"
+	"repro/internal/nodefinder"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/testutil/leakcheck"
+)
+
+func testKey(t testing.TB, seed int64) *secp256k1.PrivateKey {
+	t.Helper()
+	k, err := secp256k1.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// pagedDiscovery deterministically pages through a fixed world, 16
+// nodes per lookup, so a finite number of rounds surfaces every node
+// — the chaos test wants full coverage, not discovery realism.
+type pagedDiscovery struct {
+	self   enode.ID
+	mu     sync.Mutex
+	nodes  []*enode.Node
+	cursor int
+}
+
+func (d *pagedDiscovery) Self() enode.ID { return d.self }
+
+func (d *pagedDiscovery) Lookup(target enode.ID, done func([]*enode.Node)) {
+	go func() {
+		d.mu.Lock()
+		batch := make([]*enode.Node, 0, 16)
+		for i := 0; i < 16; i++ {
+			batch = append(batch, d.nodes[d.cursor%len(d.nodes)])
+			d.cursor++
+		}
+		d.mu.Unlock()
+		done(batch)
+	}()
+}
+
+// TestHostileTaxonomy dials every hostile peer model with the real
+// hardened dialer and pins each attack to its expected bucket in the
+// metrics error taxonomy — the acceptance criterion that every
+// failure class the chaos world can produce is observable.
+func TestHostileTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	leakcheck.Check(t, leakcheck.Window(10*time.Second))
+
+	cases := []struct {
+		kind    faultnet.HostileKind
+		classes []string // acceptable OutcomeClass values
+	}{
+		{faultnet.HostileNeverAck, []string{"handshake-timeout"}},
+		{faultnet.HostileHangAfterHandshake, []string{"tcp-timeout", "handshake-timeout"}},
+		{faultnet.HostileWrongMAC, []string{"rlpx-bad-mac"}},
+		{faultnet.HostileGiantFrame, []string{"frame-oversize"}},
+		{faultnet.HostileOversizedHello, []string{"msg-oversize"}},
+		{faultnet.HostileBadRLPHello, []string{"rlp-malformed"}},
+		{faultnet.HostileSnappyBomb, []string{"snappy-corrupt"}},
+		{faultnet.HostileStatusFlood, []string{"eth-handshake"}},
+		{faultnet.HostileImmediateReset, []string{"tcp-reset", "rlpx-error", "error-other"}},
+		{faultnet.HostileGarbage, []string{"rlpx-error"}},
+	}
+
+	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "taxonomy", DAOFork: true, Length: 8})
+	dialer := &nodefinder.RealDialer{
+		Key: testKey(t, 1000),
+		Hello: devp2p.Hello{
+			Version:    devp2p.Version,
+			Name:       "NodeFinder/chaos",
+			Caps:       []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}},
+			ListenPort: 30303,
+		},
+		Status:      ethnode.MainnetStatusFor(c),
+		DialTimeout: 2 * time.Second,
+		Budget:      1500 * time.Millisecond,
+	}
+
+	type outcome struct {
+		kind faultnet.HostileKind
+		res  *nodefinder.DialResult
+	}
+	results := make(chan outcome, len(cases))
+	for i, tc := range cases {
+		srv, err := faultnet.StartHostile(tc.kind, testKey(t, 2000+int64(i)), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		kind := tc.kind
+		dialer.Dial(srv.Node(), mlog.ConnDynamicDial, func(res *nodefinder.DialResult) {
+			results <- outcome{kind, res}
+		})
+	}
+
+	got := make(map[faultnet.HostileKind]string, len(cases))
+	for range cases {
+		select {
+		case o := <-results:
+			got[o.kind] = nodefinder.OutcomeClass(o.res)
+		case <-time.After(20 * time.Second):
+			t.Fatal("dials did not complete — a hostile peer defeated the dial budget")
+		}
+	}
+	for _, tc := range cases {
+		class, ok := got[tc.kind]
+		if !ok {
+			t.Errorf("%v: no result", tc.kind)
+			continue
+		}
+		matched := false
+		for _, want := range tc.classes {
+			if class == want {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%v classified as %q, want one of %v", tc.kind, class, tc.classes)
+		}
+	}
+}
+
+// TestChaosCrawl is the tentpole integration test: a full crawl of a
+// mixed world — 145 honest Ethereum nodes and 70 hostile peers (one
+// sixth of them per attack for each of 10 attacks, 32.6% of a
+// 215-node world) — through a fault-injecting dialer. The crawler
+// must build a complete census of the honest population, classify
+// the hostile one in its error taxonomy, and finish with zero leaked
+// goroutines and zero panics.
+func TestChaosCrawl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos integration test")
+	}
+	leakcheck.Check(t, leakcheck.Window(20*time.Second))
+
+	const (
+		honestCount    = 145
+		hostilePerKind = 7 // × NumHostileKinds = 70 hostile, ≥30% of the world
+	)
+
+	mainnet := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "chaos-mainnet", DAOFork: true})
+	mainnet.ExtendTo(chain.DAOForkBlock + 16)
+
+	// Honest population: real mini Ethereum nodes over loopback TCP.
+	honestIDs := make(map[enode.ID]bool, honestCount)
+	var world []*enode.Node
+	for i := 0; i < honestCount; i++ {
+		n, err := ethnode.Start(ethnode.Config{
+			Key:        testKey(t, 3000+int64(i)),
+			ClientName: fmt.Sprintf("Geth/chaos-%d/linux-amd64/go1.10", i),
+			Chain:      mainnet,
+			MaxPeers:   64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		world = append(world, n.Self())
+		honestIDs[n.Self().ID] = true
+	}
+
+	// Hostile population: every attack kind, several servers each.
+	hostileAddrs := make(map[string]bool)
+	hostileKind := make(map[string]faultnet.HostileKind)
+	hostile := 0
+	for kind := faultnet.HostileKind(0); kind < faultnet.NumHostileKinds; kind++ {
+		for i := 0; i < hostilePerKind; i++ {
+			srv, err := faultnet.StartHostile(kind, testKey(t, 5000+int64(hostile)), int64(hostile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(srv.Close)
+			world = append(world, srv.Node())
+			hostileAddrs[srv.Node().TCPAddr().String()] = true
+			hostileKind[srv.Node().ID.String()] = kind
+			hostile++
+		}
+	}
+	total := len(world)
+	if frac := float64(hostile) / float64(total); frac < 0.30 {
+		t.Fatalf("hostile fraction %.2f below the 30%% the test contracts", frac)
+	}
+
+	// Wire faults on the crawler's own dials: benign delays toward
+	// everyone, the full destructive schedule toward hostile peers
+	// (honest conns must stay deliverable or the census cannot
+	// converge — the crawler is being tested, not the network made
+	// impossible).
+	mild := &faultnet.Plan{
+		Seed:       71,
+		Weights:    map[faultnet.Kind]int{faultnet.None: 5, faultnet.Latency: 2, faultnet.SlowLoris: 1},
+		Latency:    20 * time.Millisecond,
+		LorisChunk: 256,
+		LorisDelay: time.Millisecond,
+	}
+	harsh := faultnet.NewPlan(72)
+	dialFunc := func(network, address string, timeout time.Duration) (net.Conn, error) {
+		fd, err := net.DialTimeout(network, address, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if hostileAddrs[address] {
+			return harsh.Wrap(fd), nil
+		}
+		return mild.Wrap(fd), nil
+	}
+
+	reg := metrics.New()
+	col := mlog.NewCollector()
+	shuffled := append([]*enode.Node(nil), world...)
+	rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	crawlKey := testKey(t, 9999)
+	finder, err := nodefinder.New(nodefinder.Config{
+		Discovery: &pagedDiscovery{self: enode.PubkeyID(&crawlKey.Pub), nodes: shuffled},
+		Dialer: &nodefinder.RealDialer{
+			Key: crawlKey,
+			Hello: devp2p.Hello{
+				Version:    devp2p.Version,
+				Name:       "NodeFinder/chaos",
+				Caps:       []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}},
+				ListenPort: 30303,
+			},
+			Status:      ethnode.MainnetStatusFor(mainnet),
+			DialTimeout: 5 * time.Second,
+			Budget:      4 * time.Second,
+			DialFunc:    dialFunc,
+			Metrics:     nodefinder.NewDialerMetrics(reg),
+		},
+		Log:             col,
+		Metrics:         reg,
+		LookupInterval:  150 * time.Millisecond,
+		StaticInterval:  time.Hour,
+		MaxDynamicDials: 32,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finder.Start()
+	defer finder.Stop()
+
+	// Convergence: every honest node appears in the census with a
+	// completed eth handshake.
+	censusHonest := func() int {
+		seen := make(map[string]bool)
+		for _, e := range col.Entries() {
+			if e.Hello != nil && e.Status != nil {
+				seen[e.NodeID] = true
+			}
+		}
+		n := 0
+		for id := range honestIDs {
+			if seen[id.String()] {
+				n++
+			}
+		}
+		return n
+	}
+	// Wait for the honest census to converge AND for every node in
+	// the world (hostile included) to have a recorded attempt — the
+	// slow attacks take the full dial budget to classify.
+	deadline := time.Now().Add(90 * time.Second)
+	converged := 0
+	for time.Now().Before(deadline) {
+		converged = censusHonest()
+		if converged == honestCount && reg.Snapshot().CounterSum("finder.conns") >= uint64(total) {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	// Allow a node or two lost to loopback scheduling under -race;
+	// anything more means the hostile 30% starved the honest crawl.
+	if converged < honestCount-3 {
+		t.Fatalf("census converged on %d/%d honest nodes", converged, honestCount)
+	}
+	t.Logf("census: %d/%d honest nodes, %d total entries, fault draws: dialer=%v hostile-side=%v",
+		converged, honestCount, col.Len(), mild.Counts(), harsh.Counts())
+	if testing.Verbose() {
+		for _, e := range col.Entries() {
+			if k, ok := hostileKind[e.NodeID]; ok {
+				t.Logf("hostile %-20v err=%q hello=%v status=%v", k, e.Err, e.Hello != nil, e.Status != nil)
+			}
+		}
+	}
+
+	// Every hostile attack the world mounts must be visible in the
+	// error taxonomy — the metrics layer is how an operator would
+	// notice a real-world attack.
+	snap := reg.Snapshot()
+	for _, class := range []string{
+		"rlpx-bad-mac", "frame-oversize", "msg-oversize",
+		"snappy-corrupt", "rlp-malformed", "handshake-timeout",
+	} {
+		if snap.Counter("finder.conn_errors{"+class+"}") == 0 {
+			t.Errorf("error taxonomy never recorded %q", class)
+		}
+	}
+	// The crawler must have attempted substantially the whole world.
+	if attempts := snap.CounterSum("finder.conns"); attempts < uint64(total) {
+		t.Errorf("only %d connection attempts for a %d-node world", attempts, total)
+	}
+	finder.Stop()
+}

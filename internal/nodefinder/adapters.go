@@ -46,15 +46,33 @@ type RealDialer struct {
 	// DialTimeout bounds TCP connection establishment (the paper
 	// keeps Geth's 15 s default).
 	DialTimeout time.Duration
+	// Budget bounds the whole post-connect establishment chain (RLPx
+	// handshake through disconnect) with a single socket deadline, so
+	// a peer that stalls mid-handshake or trickles bytes one at a
+	// time ("slow loris") cannot hold a dial slot longer than this.
+	// Zero applies DefaultDialBudget; negative disables the budget
+	// and falls back to per-message deadlines only.
+	Budget time.Duration
 	// CheckDAO controls whether the fork check runs after a
 	// compatible STATUS.
 	CheckDAO bool
+	// DialFunc overrides TCP connection establishment; the chaos
+	// harness injects transport faults here. Nil uses
+	// net.DialTimeout.
+	DialFunc func(network, address string, timeout time.Duration) (net.Conn, error)
 	// Metrics, when non-nil, receives per-outcome dial telemetry.
 	Metrics *DialerMetrics
 }
 
 // DefaultDialTimeout is Geth's defaultDialTimeout (§4).
 const DefaultDialTimeout = 15 * time.Second
+
+// DefaultDialBudget bounds one connection's establishment chain. The
+// chain is at most three message exchanges (§4), each of which
+// completes in a handful of RTTs against an honest peer; 30 s is
+// generous for the slowest real link while still guaranteeing dial
+// slots turn over under adversarial stalling.
+const DefaultDialBudget = 30 * time.Second
 
 // Dial implements Dialer.
 func (d *RealDialer) Dial(n *enode.Node, kind mlog.ConnType, done func(*DialResult)) {
@@ -72,8 +90,12 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 		timeout = DefaultDialTimeout
 	}
 
+	dialFn := d.DialFunc
+	if dialFn == nil {
+		dialFn = net.DialTimeout
+	}
 	tcpStart := time.Now()
-	fd, err := net.DialTimeout("tcp", n.TCPAddr().String(), timeout)
+	fd, err := dialFn("tcp", n.TCPAddr().String(), timeout)
 	if err != nil {
 		res.Err = fmt.Errorf("tcp dial: %w", err)
 		res.Duration = time.Since(res.Start)
@@ -82,11 +104,27 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 	res.RTT = time.Since(tcpStart) // SYN round trip approximates sRTT
 	defer fd.Close()
 
-	conn, err := rlpx.Initiate(fd, d.Key, n.ID)
+	// The per-dial budget is one absolute deadline covering every
+	// read and write that follows; rlpx's own handshake timeout and
+	// per-message deadlines are disabled so they cannot extend it.
+	budget := d.Budget
+	if budget == 0 {
+		budget = DefaultDialBudget
+	}
+	handshakeTimeout := rlpx.HandshakeTimeout
+	if budget > 0 {
+		fd.SetDeadline(time.Now().Add(budget)) //nolint:errcheck
+		handshakeTimeout = 0
+	}
+
+	conn, err := rlpx.InitiateTimeout(fd, d.Key, n.ID, handshakeTimeout)
 	if err != nil {
 		res.Err = fmt.Errorf("rlpx: %w", err)
 		res.Duration = time.Since(res.Start)
 		return res
+	}
+	if budget > 0 {
+		conn.SetTimeouts(0, 0)
 	}
 
 	// DEVp2p HELLO exchange.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
 	"repro/internal/simnet"
+	"repro/internal/testutil/leakcheck"
 )
 
 // TestMetricsReconcileWithMlog runs a simulated crawl and checks the
@@ -19,6 +20,7 @@ import (
 // type, and the dialer-level outcome counters cover every outbound
 // attempt.
 func TestMetricsReconcileWithMlog(t *testing.T) {
+	leakcheck.Check(t)
 	const seed = 7
 	reg := metrics.New()
 	cfg := simnet.DefaultConfig(seed)
@@ -118,6 +120,7 @@ func TestMetricsReconcileWithMlog(t *testing.T) {
 // TestMetricsDisabled runs the same crawl with no registry: all
 // instrument paths must no-op without panicking.
 func TestMetricsDisabled(t *testing.T) {
+	leakcheck.Check(t)
 	const seed = 11
 	cfg := simnet.DefaultConfig(seed)
 	cfg.BaseNodes = 100

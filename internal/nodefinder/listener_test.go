@@ -14,6 +14,7 @@ import (
 	"repro/internal/nodefinder/mlog"
 	"repro/internal/rlpx"
 	"repro/internal/simclock"
+	"repro/internal/testutil/leakcheck"
 )
 
 func listenerFixture(t *testing.T) (*Listener, *Finder, *mlog.Collector, *chain.Chain) {
@@ -101,6 +102,7 @@ func waitIncoming(t *testing.T, f *Finder, want uint64) {
 }
 
 func TestListenerRecordsEthPeer(t *testing.T) {
+	leakcheck.Check(t)
 	l, f, col, c := listenerFixture(t)
 	inboundClient(t, l, "Geth/v1.8.10-stable/linux", []devp2p.Cap{{Name: "eth", Version: 63}}, c, true)
 	waitIncoming(t, f, 1)
@@ -125,6 +127,7 @@ func TestListenerRecordsEthPeer(t *testing.T) {
 }
 
 func TestListenerRecordsNonEthPeer(t *testing.T) {
+	leakcheck.Check(t)
 	l, f, col, c := listenerFixture(t)
 	inboundClient(t, l, "swarm/v0.3", []devp2p.Cap{{Name: "bzz", Version: 2}}, c, false)
 	waitIncoming(t, f, 1)
@@ -138,6 +141,7 @@ func TestListenerRecordsNonEthPeer(t *testing.T) {
 }
 
 func TestListenerSurvivesGarbage(t *testing.T) {
+	leakcheck.Check(t)
 	l, f, _, c := listenerFixture(t)
 	// Raw junk: handshake fails, nothing recorded, listener lives.
 	fd, err := net.DialTimeout("tcp", l.Addr().String(), 2*time.Second)
@@ -154,6 +158,7 @@ func TestListenerSurvivesGarbage(t *testing.T) {
 }
 
 func TestListenerCloseIdempotent(t *testing.T) {
+	leakcheck.Check(t)
 	l, _, _, _ := listenerFixture(t)
 	l.Close()
 	l.Close()

@@ -1,11 +1,15 @@
 package nodefinder
 
 import (
+	"errors"
 	"strings"
 
 	"repro/internal/devp2p"
+	"repro/internal/eth"
 	"repro/internal/metrics"
 	"repro/internal/nodedb"
+	"repro/internal/rlpx"
+	"repro/internal/snappy"
 )
 
 // finderMetrics holds the Finder's resolved instruments. It is always
@@ -29,6 +33,7 @@ type finderMetrics struct {
 	dialDuration *metrics.Histogram
 	rtt          *metrics.Histogram
 	staleExpired *metrics.Counter
+	backoffSkips *metrics.Counter
 }
 
 // newFinderMetrics resolves the Finder's instruments against r (nil
@@ -48,6 +53,7 @@ func newFinderMetrics(r *metrics.Registry, db *nodedb.DB) *finderMetrics {
 		dialDuration: r.Histogram("finder.conn_duration_us"),
 		rtt:          r.Histogram("finder.rtt_us"),
 		staleExpired: r.Counter("finder.stale_expired"),
+		backoffSkips: r.Counter("finder.backoff_suppressed"),
 	}
 }
 
@@ -60,6 +66,12 @@ func (m *finderMetrics) observe(res *DialResult) {
 		m.connsOK.Inc(kind)
 	} else {
 		m.connsFailed.Inc(kind)
+	}
+	// Taxonomize every attempt that ended in an error, including ones
+	// where the peer completed HELLO and then turned hostile (snappy
+	// bombs, giant frames) — those failures are exactly the ones an
+	// operator needs to see.
+	if res.Err != nil || res.Hello == nil {
 		m.errors.Inc(OutcomeClass(res))
 	}
 	m.dialDuration.ObserveDuration(res.Duration)
@@ -70,20 +82,40 @@ func (m *finderMetrics) observe(res *DialResult) {
 
 // OutcomeClass buckets a connection result into the paper's failure
 // taxonomy (§5.2: dead addresses, NAT timeouts, peer-limit
-// rejections, non-eth services, productive handshakes). Both the
-// real dialer and the simulated one classify through this single
-// function, so their telemetry is comparable.
+// rejections, non-eth services, productive handshakes), extended
+// with the adversarial failure classes the hardened transport can
+// now distinguish: forged frame MACs, oversized frames and messages,
+// corrupt snappy payloads, stalled handshakes, and protocol-order
+// violations. Both the real dialer and the simulated one classify
+// through this single function, so their telemetry is comparable.
 func OutcomeClass(res *DialResult) string {
 	switch {
 	case res.Err != nil:
-		msg := res.Err.Error()
+		err := res.Err
+		msg := err.Error()
 		switch {
+		case errors.Is(err, rlpx.ErrBadHeaderMAC) || errors.Is(err, rlpx.ErrBadFrameMAC):
+			return "rlpx-bad-mac"
+		case errors.Is(err, rlpx.ErrFrameTooBig):
+			return "frame-oversize"
+		case errors.Is(err, devp2p.ErrMsgTooBig) || errors.Is(err, eth.ErrMsgTooBig):
+			return "msg-oversize"
+		case errors.Is(err, snappy.ErrCorrupt) || errors.Is(err, snappy.ErrTooLarge):
+			return "snappy-corrupt"
+		case errors.Is(err, devp2p.ErrUnexpectedMessage) || errors.Is(err, eth.ErrNoStatus):
+			return "protocol-violation"
+		case strings.Contains(msg, "rlpx") && strings.Contains(msg, "timeout"):
+			return "handshake-timeout"
 		case strings.Contains(msg, "timeout"):
 			return "tcp-timeout"
 		case strings.Contains(msg, "refused"):
 			return "tcp-refused"
+		case strings.Contains(msg, "reset"):
+			return "tcp-reset"
 		case strings.Contains(msg, "rlpx"):
 			return "rlpx-error"
+		case strings.Contains(msg, "decoding hello") || strings.Contains(msg, "rlp"):
+			return "rlp-malformed"
 		default:
 			return "error-other"
 		}

@@ -165,9 +165,17 @@ func ReadFile(path string) ([]*Entry, error) {
 	return Read(f)
 }
 
-// Read parses JSONL entries from r.
+// Read parses JSONL entries from r. A measurement log is often cut
+// short by a crash or disk-full event — a truncated final line or a
+// stretch of interleaved garbage must not cost the analyst the 82
+// days of records before it. Read therefore parses as far as it can:
+// it always returns every entry that decoded cleanly, together with
+// an error describing the first malformed line (nil if the whole
+// stream was well-formed). A caller that requires a pristine log
+// checks the error; the analysis pipeline keeps the partial records.
 func Read(r io.Reader) ([]*Entry, error) {
 	var out []*Entry
+	var firstErr error
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	line := 0
@@ -178,12 +186,15 @@ func Read(r io.Reader) ([]*Entry, error) {
 		}
 		var e Entry
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("mlog: line %d: %w", line, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mlog: line %d: %w", line, err)
+			}
+			continue
 		}
 		out = append(out, &e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("mlog: scan: %w", err)
+	if err := sc.Err(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("mlog: scan: %w", err)
 	}
-	return out, nil
+	return out, firstErr
 }

@@ -103,6 +103,75 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// validLine renders one sample entry as a JSONL line.
+func validLine(t *testing.T, i int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(sampleEntry(i))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestReadCorruptInputs is the crash-recovery contract: whatever has
+// happened to the log on disk — truncation mid-line, interleaved
+// stderr garbage, binary junk, an empty file — Read returns every
+// record that survived plus a non-nil error for any damage, and
+// never panics.
+func TestReadCorruptInputs(t *testing.T) {
+	l0, l1 := validLine(t, 0), validLine(t, 1)
+	cases := []struct {
+		name    string
+		input   string
+		want    int  // entries recovered
+		wantErr bool // damage reported
+	}{
+		{"empty file", "", 0, false},
+		{"only newlines", "\n\n\n", 0, false},
+		{"truncated final line", l0 + l1[:len(l1)/2], 1, true},
+		{"truncated only line", l0[:len(l0)-20], 0, true},
+		{"garbage between records", l0 + "##### panic: runtime error #####\n" + l1, 2, true},
+		{"garbage then records", "\x00\x01\x02binary junk\n" + l0 + l1, 2, true},
+		{"records then garbage", l0 + l1 + "{\"time\": not-a-date}\n", 2, true},
+		{"all garbage", "one\ntwo\nthree\n", 0, true},
+		{"valid json wrong shape", "[1,2,3]\n" + l0, 1, true},
+		{"missing trailing newline", l0 + l1[:len(l1)-1], 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			entries, err := Read(bytes.NewBufferString(tc.input))
+			if len(entries) != tc.want {
+				t.Errorf("recovered %d entries, want %d", len(entries), tc.want)
+			}
+			if (err != nil) != tc.wantErr {
+				t.Errorf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			for _, e := range entries {
+				if e.NodeID != "abcd" {
+					t.Errorf("recovered entry corrupted: %+v", e)
+				}
+			}
+		})
+	}
+}
+
+// TestReadPartialThenError pins the pairing: damaged input yields
+// BOTH the salvageable records and the first error, so callers can
+// choose strictness without losing data.
+func TestReadPartialThenError(t *testing.T) {
+	l0 := validLine(t, 0)
+	input := l0 + l0 + "corrupt{{{\n" + l0
+	entries, err := Read(bytes.NewBufferString(input))
+	if err == nil {
+		t.Fatal("damage not reported")
+	}
+	if len(entries) != 3 {
+		t.Fatalf("recovered %d entries, want 3 (records after the bad line count too)", len(entries))
+	}
+}
+
 func TestReadSkipsBlankLines(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

@@ -44,6 +44,13 @@ const (
 	// redialSuppression avoids dynamic re-dialing a node too soon
 	// after any dial attempt.
 	redialSuppression = 5 * time.Minute
+	// maxDialBackoff caps the exponential backoff applied to nodes
+	// that fail establishment repeatedly. Gossip keeps returning dead
+	// and hostile addresses for days (§5.2); doubling the suppression
+	// window per consecutive failure, up to this cap, keeps the dial
+	// budget pointed at responsive nodes without ever giving up on an
+	// address that might come back.
+	maxDialBackoff = 2 * time.Hour
 )
 
 // Discovery abstracts the RLPx node-discovery service.
@@ -142,6 +149,12 @@ type Finder struct {
 	dynActive   int
 	stats       Stats
 
+	// failStreak counts consecutive failed establishment attempts per
+	// node; backoffUntil holds the jittered instant before which the
+	// node is not dynamically re-dialed. Both reset on any success.
+	failStreak   map[enode.ID]int
+	backoffUntil map[enode.ID]time.Time
+
 	// onIdle, if set, is called (locked) whenever the dynamic queue
 	// drains; tests use it.
 	onIdle func()
@@ -174,13 +187,15 @@ func New(cfg Config) (*Finder, error) {
 		cfg.StaleAfter = DefaultStaleAfter
 	}
 	return &Finder{
-		cfg:         cfg,
-		clock:       cfg.Clock,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		metrics:     newFinderMetrics(cfg.Metrics, cfg.DB),
-		dialing:     make(map[enode.ID]bool),
-		lastDial:    make(map[enode.ID]time.Time),
-		staticTimer: make(map[enode.ID]simclock.Timer),
+		cfg:          cfg,
+		clock:        cfg.Clock,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		metrics:      newFinderMetrics(cfg.Metrics, cfg.DB),
+		dialing:      make(map[enode.ID]bool),
+		lastDial:     make(map[enode.ID]time.Time),
+		staticTimer:  make(map[enode.ID]simclock.Timer),
+		failStreak:   make(map[enode.ID]int),
+		backoffUntil: make(map[enode.ID]time.Time),
 	}, nil
 }
 
@@ -248,11 +263,11 @@ func (f *Finder) runLookup() {
 		return
 	}
 	f.stats.DiscoveryAttempts++
+	target := enode.RandomID(f.rng) // f.rng needs f.mu: backoff jitter shares it
 	f.mu.Unlock()
 	f.metrics.lookups.Inc()
 
 	start := f.clock.Now()
-	target := enode.RandomID(f.rng)
 	f.cfg.Discovery.Lookup(target, func(found []*enode.Node) {
 		f.onLookupDone(start, found)
 	})
@@ -274,6 +289,10 @@ func (f *Finder) onLookupDone(start time.Time, found []*enode.Node) {
 			continue
 		}
 		if last, ok := f.lastDial[n.ID]; ok && now.Sub(last) < redialSuppression {
+			continue
+		}
+		if until, ok := f.backoffUntil[n.ID]; ok && now.Before(until) {
+			f.metrics.backoffSkips.Inc()
 			continue
 		}
 		// Static-list members are managed by the static scheduler;
@@ -318,6 +337,10 @@ func (f *Finder) fillDynamicLocked() []*enode.Node {
 		if last, ok := f.lastDial[n.ID]; ok && now.Sub(last) < redialSuppression {
 			continue
 		}
+		if until, ok := f.backoffUntil[n.ID]; ok && now.Before(until) {
+			f.metrics.backoffSkips.Inc()
+			continue
+		}
 		f.dialing[n.ID] = true
 		f.lastDial[n.ID] = now
 		f.dynActive++
@@ -355,8 +378,12 @@ func (f *Finder) onDialDone(n *enode.Node, kind mlog.ConnType, res *DialResult) 
 	}
 	if success {
 		f.stats.SuccessfulConns++
+		delete(f.failStreak, n.ID)
+		delete(f.backoffUntil, n.ID)
 	} else {
 		f.stats.FailedConns++
+		f.failStreak[n.ID]++
+		f.backoffUntil[n.ID] = now.Add(f.backoffDelayLocked(f.failStreak[n.ID]))
 	}
 	if f.stopped {
 		f.mu.Unlock()
@@ -377,6 +404,22 @@ func (f *Finder) onDialDone(n *enode.Node, kind mlog.ConnType, res *DialResult) 
 	for _, next := range launch {
 		f.dial(next, mlog.ConnDynamicDial)
 	}
+}
+
+// backoffDelayLocked computes the jittered suppression window after
+// the streak-th consecutive failure: redialSuppression doubled per
+// failure beyond the first, capped at maxDialBackoff, with ±20%
+// jitter so retries against a failing population do not synchronize.
+// Caller holds f.mu (for f.rng).
+func (f *Finder) backoffDelayLocked(streak int) time.Duration {
+	d := redialSuppression
+	for i := 1; i < streak && d < maxDialBackoff; i++ {
+		d *= 2
+	}
+	if d > maxDialBackoff {
+		d = maxDialBackoff
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*f.rng.Float64()))
 }
 
 // armStaticTimerLocked (re)schedules a static re-dial. Caller holds
@@ -427,8 +470,24 @@ func (f *Finder) scheduleStaleSweep() {
 		}
 		expired := f.cfg.DB.ExpireStale(f.clock.Now(), f.cfg.StaleAfter)
 		f.metrics.staleExpired.Add(uint64(expired))
+		f.pruneBackoff(f.clock.Now())
 		f.scheduleStaleSweep()
 	})
+}
+
+// pruneBackoff drops backoff state for nodes whose window has been
+// over for a full maxDialBackoff — long-quiet addresses the crawler
+// may never hear about again — so §5.4-style identity spam cannot
+// grow the failure maps without bound.
+func (f *Finder) pruneBackoff(now time.Time) {
+	f.mu.Lock()
+	for id, until := range f.backoffUntil {
+		if now.Sub(until) > maxDialBackoff {
+			delete(f.backoffUntil, id)
+			delete(f.failStreak, id)
+		}
+	}
+	f.mu.Unlock()
 }
 
 // HandleIncoming records an inbound connection result (NodeFinder

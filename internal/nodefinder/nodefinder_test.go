@@ -13,6 +13,7 @@ import (
 	"repro/internal/nodedb"
 	"repro/internal/nodefinder/mlog"
 	"repro/internal/simclock"
+	"repro/internal/testutil/leakcheck"
 )
 
 var t0 = time.Date(2018, 4, 18, 0, 0, 0, 0, time.UTC)
@@ -100,12 +101,14 @@ func newTestFinder(t *testing.T, clock *simclock.Simulated, w *fakeWorld, col *m
 }
 
 func TestNewValidatesConfig(t *testing.T) {
+	leakcheck.Check(t)
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("empty config accepted")
 	}
 }
 
 func TestDiscoveryCadence(t *testing.T) {
+	leakcheck.Check(t)
 	// Lookup rounds must start no closer than LookupInterval apart:
 	// with 4s interval and 1s lookups, one hour holds ≤900 rounds —
 	// and with our timings exactly 900.
@@ -122,6 +125,7 @@ func TestDiscoveryCadence(t *testing.T) {
 }
 
 func TestDynamicDialsFollowDiscovery(t *testing.T) {
+	leakcheck.Check(t)
 	clock := simclock.NewSimulated(t0)
 	w := newFakeWorld(clock, 300)
 	col := mlog.NewCollector()
@@ -151,6 +155,7 @@ func TestDynamicDialsFollowDiscovery(t *testing.T) {
 }
 
 func TestConcurrencyLimit(t *testing.T) {
+	leakcheck.Check(t)
 	// With slow dials (longer than the advance window between
 	// checks), active dynamic dials must never exceed 16.
 	clock := simclock.NewSimulated(t0)
@@ -171,6 +176,7 @@ func TestConcurrencyLimit(t *testing.T) {
 }
 
 func TestStaticRedialInterval(t *testing.T) {
+	leakcheck.Check(t)
 	// A successfully dialed node must be re-dialed as static roughly
 	// every 30 minutes: ≤48/day to a single node (§5.2 / Figure 8).
 	clock := simclock.NewSimulated(t0)
@@ -201,6 +207,7 @@ func TestStaticRedialInterval(t *testing.T) {
 }
 
 func TestBootstrapNodesAreStaticDialed(t *testing.T) {
+	leakcheck.Check(t)
 	clock := simclock.NewSimulated(t0)
 	w := newFakeWorld(clock, 0)
 	f := newTestFinder(t, clock, w, mlog.NewCollector())
@@ -218,6 +225,7 @@ func TestBootstrapNodesAreStaticDialed(t *testing.T) {
 }
 
 func TestStaleNodesDropOffStaticList(t *testing.T) {
+	leakcheck.Check(t)
 	clock := simclock.NewSimulated(t0)
 	w := newFakeWorld(clock, 10)
 	f := newTestFinder(t, clock, w, mlog.NewCollector())
@@ -238,6 +246,7 @@ func TestStaleNodesDropOffStaticList(t *testing.T) {
 }
 
 func TestIncomingConnectionsLogged(t *testing.T) {
+	leakcheck.Check(t)
 	clock := simclock.NewSimulated(t0)
 	w := newFakeWorld(clock, 1)
 	col := mlog.NewCollector()
@@ -272,6 +281,7 @@ func TestIncomingConnectionsLogged(t *testing.T) {
 }
 
 func TestStopHaltsScheduling(t *testing.T) {
+	leakcheck.Check(t)
 	clock := simclock.NewSimulated(t0)
 	w := newFakeWorld(clock, 50)
 	f := newTestFinder(t, clock, w, mlog.NewCollector())
@@ -288,6 +298,7 @@ func TestStopHaltsScheduling(t *testing.T) {
 }
 
 func TestDeterministicUnderSimClock(t *testing.T) {
+	leakcheck.Check(t)
 	run := func() (Stats, int) {
 		clock := simclock.NewSimulated(t0)
 		w := newFakeWorld(clock, 120)

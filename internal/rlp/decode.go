@@ -721,11 +721,12 @@ func CountValues(b []byte) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		total := tagsize + size
-		if total > uint64(len(b)) {
+		// Guard tagsize+size against uint64 overflow: a hostile header
+		// can announce a 2^64-1 byte value.
+		if size > uint64(len(b)) || tagsize > uint64(len(b))-size {
 			return 0, ErrValueTooLarge
 		}
-		b = b[total:]
+		b = b[tagsize+size:]
 		count++
 	}
 	return count, nil
@@ -741,7 +742,7 @@ func SplitList(b []byte) (content, rest []byte, err error) {
 	if kind != List {
 		return nil, nil, ErrExpectedList
 	}
-	if tagsize+size > uint64(len(b)) {
+	if size > uint64(len(b)) || tagsize > uint64(len(b))-size {
 		return nil, nil, ErrValueTooLarge
 	}
 	return b[tagsize : tagsize+size], b[tagsize+size:], nil
@@ -760,7 +761,7 @@ func SplitString(b []byte) (content, rest []byte, err error) {
 	if kind == Byte {
 		return b[:1], b[1:], nil
 	}
-	if tagsize+size > uint64(len(b)) {
+	if size > uint64(len(b)) || tagsize > uint64(len(b))-size {
 		return nil, nil, ErrValueTooLarge
 	}
 	return b[tagsize : tagsize+size], b[tagsize+size:], nil

@@ -1,0 +1,94 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// helloLike mirrors the field mix of the wire structs decoded from
+// untrusted peers (devp2p.Hello, eth.Status): integers, strings,
+// nested structs, and a tail absorbing unknown future fields.
+type helloLike struct {
+	Version uint64
+	Name    string
+	Caps    []capLike
+	Port    uint64
+	ID      [64]byte
+	Rest    []RawValue `rlp:"tail"`
+}
+
+type capLike struct {
+	Name    string
+	Version uint
+}
+
+// FuzzDecode throws arbitrary bytes at every decoding entry point the
+// crawler exposes to untrusted peers. Invariants: no panic, and for
+// types with a canonical encoding, decode∘encode is the identity —
+// the decoder must not accept a non-canonical form silently.
+func FuzzDecode(f *testing.F) {
+	// Canonical encodings of representative values.
+	for _, v := range []any{
+		uint64(0), uint64(127), uint64(1 << 40),
+		"", "eth", "Geth/v1.8.11-stable/linux-amd64/go1.10",
+		[]byte{0x80}, bytes.Repeat([]byte{0xAA}, 100),
+		[]uint64{1, 2, 3},
+		&helloLike{Version: 5, Name: "x", Caps: []capLike{{"eth", 63}}, Port: 30303},
+	} {
+		enc, err := EncodeToBytes(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	// Hand-picked malformed shapes: truncated sizes, huge announced
+	// lengths, non-canonical single bytes, deep nesting.
+	f.Add([]byte{0xB8})
+	f.Add([]byte{0xBF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x81, 0x01}) // non-canonical: single byte < 0x80 wrapped in a string
+	f.Add(bytes.Repeat([]byte{0xC1}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var raw RawValue
+		if err := DecodeBytes(data, &raw); err == nil {
+			if !bytes.Equal([]byte(raw), data) {
+				t.Fatalf("RawValue lost bytes: %x != %x", raw, data)
+			}
+		}
+		var u uint64
+		if err := DecodeBytes(data, &u); err == nil {
+			enc, err := EncodeToBytes(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("uint64 %d: decode∘encode %x != input %x (non-canonical accepted)", u, enc, data)
+			}
+		}
+		var s string
+		if err := DecodeBytes(data, &s); err == nil {
+			enc, err := EncodeToBytes(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("string %q: decode∘encode mismatch", s)
+			}
+		}
+		var bs []byte
+		DecodeBytes(data, &bs) //nolint:errcheck
+		var list []uint64
+		DecodeBytes(data, &list) //nolint:errcheck
+		var h helloLike
+		DecodeBytes(data, &h) //nolint:errcheck
+
+		CountValues(data) //nolint:errcheck
+		SplitString(data) //nolint:errcheck
+		if content, _, err := SplitList(data); err == nil {
+			// Walking a valid list must terminate and stay in bounds.
+			if n, err := CountValues(content); err == nil && n > len(content)+1 {
+				t.Fatalf("counted %d values in %d bytes", n, len(content))
+			}
+		}
+	})
+}

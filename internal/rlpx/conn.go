@@ -17,7 +17,21 @@ const (
 	FrameReadTimeout = 30 * time.Second
 	// FrameWriteTimeout bounds a single message write.
 	FrameWriteTimeout = 20 * time.Second
+	// HandshakeTimeout bounds the whole auth/ack key exchange. A peer
+	// that connects and never completes (or never starts) the
+	// handshake is cut off here instead of pinning a goroutine and a
+	// socket forever.
+	HandshakeTimeout = 5 * time.Second
 )
+
+// DefaultMaxReadFrame bounds inbound frame payloads (and, with snappy
+// enabled, the decompressed payload). The devp2p base protocol and
+// the eth subset this repository speaks never legitimately approach
+// it; a peer advertising more in a frame header is cut off before the
+// frame buffer is allocated. Callers that really expect bigger
+// messages raise it per connection with SetMaxReadFrame, up to the
+// absolute MaxFrameSize.
+const DefaultMaxReadFrame = 1 << 20
 
 // Conn is an established RLPx connection carrying framed messages.
 // Option fields (timeouts, snappy, RTT) may be set from a different
@@ -32,29 +46,61 @@ type Conn struct {
 	readTimeout  atomic.Int64 // nanoseconds; 0 disables
 	writeTimeout atomic.Int64
 	rtt          atomic.Int64
+	maxReadFrame atomic.Int64
 	snappy       atomic.Bool
 }
 
 // Initiate performs the initiator handshake over an established TCP
-// connection toward the node with the given identity.
+// connection toward the node with the given identity, bounded by
+// HandshakeTimeout.
 func Initiate(fd net.Conn, priv *secp256k1.PrivateKey, remoteID enode.ID) (*Conn, error) {
+	return InitiateTimeout(fd, priv, remoteID, HandshakeTimeout)
+}
+
+// InitiateTimeout is Initiate with an explicit handshake deadline
+// (zero disables it — the caller manages fd deadlines itself).
+func InitiateTimeout(fd net.Conn, priv *secp256k1.PrivateKey, remoteID enode.ID, timeout time.Duration) (*Conn, error) {
+	armHandshakeDeadline(fd, timeout)
 	sec, err := initiatorHandshake(fd, priv, remoteID)
 	countHandshake(err)
 	if err != nil {
 		return nil, err
 	}
+	clearHandshakeDeadline(fd, timeout)
 	return newConn(fd, sec), nil
 }
 
 // Accept performs the recipient handshake on an inbound connection
-// and learns the initiator's identity.
+// and learns the initiator's identity, bounded by HandshakeTimeout. A
+// client that opens a socket and never sends auth ("never-ACK") is
+// disconnected when the deadline fires.
 func Accept(fd net.Conn, priv *secp256k1.PrivateKey) (*Conn, error) {
+	return AcceptTimeout(fd, priv, HandshakeTimeout)
+}
+
+// AcceptTimeout is Accept with an explicit handshake deadline (zero
+// disables it).
+func AcceptTimeout(fd net.Conn, priv *secp256k1.PrivateKey, timeout time.Duration) (*Conn, error) {
+	armHandshakeDeadline(fd, timeout)
 	sec, err := recipientHandshake(fd, priv)
 	countHandshake(err)
 	if err != nil {
 		return nil, err
 	}
+	clearHandshakeDeadline(fd, timeout)
 	return newConn(fd, sec), nil
+}
+
+func armHandshakeDeadline(fd net.Conn, timeout time.Duration) {
+	if timeout > 0 {
+		fd.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	}
+}
+
+func clearHandshakeDeadline(fd net.Conn, timeout time.Duration) {
+	if timeout > 0 {
+		fd.SetDeadline(time.Time{}) //nolint:errcheck
+	}
 }
 
 func newConn(fd net.Conn, sec *secrets) *Conn {
@@ -65,6 +111,7 @@ func newConn(fd net.Conn, sec *secrets) *Conn {
 	}
 	c.readTimeout.Store(int64(FrameReadTimeout))
 	c.writeTimeout.Store(int64(FrameWriteTimeout))
+	c.maxReadFrame.Store(DefaultMaxReadFrame)
 	return c
 }
 
@@ -81,6 +128,16 @@ func (c *Conn) SetTimeouts(read, write time.Duration) {
 // this on right after the HELLO exchange when both sides advertise
 // base protocol version ≥ 5; message codes stay uncompressed.
 func (c *Conn) SetSnappy(on bool) { c.snappy.Store(on) }
+
+// SetMaxReadFrame overrides the inbound frame-size cap (which also
+// bounds decompressed snappy payloads). Values outside
+// (0, MaxFrameSize] are clamped to the absolute limit.
+func (c *Conn) SetMaxReadFrame(n int) {
+	if n <= 0 || n > MaxFrameSize {
+		n = MaxFrameSize
+	}
+	c.maxReadFrame.Store(int64(n))
+}
 
 // WriteMsg sends one message with the standard write deadline.
 func (c *Conn) WriteMsg(code uint64, payload []byte) error {
@@ -106,12 +163,15 @@ func (c *Conn) ReadMsg() (code uint64, payload []byte, err error) {
 	if d := c.readTimeout.Load(); d > 0 {
 		c.fd.SetReadDeadline(time.Now().Add(time.Duration(d))) //nolint:errcheck
 	}
-	code, payload, err = c.rw.ReadMsg()
+	max := int(c.maxReadFrame.Load())
+	code, payload, err = c.rw.ReadMsg(max)
 	if err == nil {
 		countRead(len(payload))
 	}
 	if err == nil && c.snappy.Load() && len(payload) > 0 {
-		payload, err = snappy.Decode(payload)
+		// The decompressed payload is held to the same cap as the wire
+		// frame, so a snappy bomb cannot expand past it.
+		payload, err = snappy.DecodeCapped(payload, max)
 		if err != nil {
 			return 0, nil, fmt.Errorf("rlpx: decompressing payload: %w", err)
 		}

@@ -151,8 +151,14 @@ func (rw *frameRW) WriteMsg(code uint64, payload []byte) error {
 }
 
 // ReadMsg reads and authenticates one frame, returning the message
-// code and payload.
-func (rw *frameRW) ReadMsg() (code uint64, payload []byte, err error) {
+// code and payload. maxFrame caps the advertised frame size; the
+// check runs before the frame buffer is allocated, so a hostile
+// header announcing (say) 16 MiB costs nothing but the 32-byte header
+// read. Non-positive maxFrame falls back to the absolute limit.
+func (rw *frameRW) ReadMsg(maxFrame int) (code uint64, payload []byte, err error) {
+	if maxFrame <= 0 || maxFrame > MaxFrameSize {
+		maxFrame = MaxFrameSize
+	}
 	headbuf := rw.headbuf[:]
 	if _, err := io.ReadFull(rw.conn, headbuf); err != nil {
 		return 0, nil, err
@@ -163,8 +169,8 @@ func (rw *frameRW) ReadMsg() (code uint64, payload []byte, err error) {
 	}
 	rw.dec.XORKeyStream(headbuf[:16], headbuf[:16])
 	frameSize := int(headbuf[0])<<16 | int(headbuf[1])<<8 | int(headbuf[2])
-	if frameSize > MaxFrameSize {
-		return 0, nil, ErrFrameTooBig
+	if frameSize > maxFrame {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, frameSize, maxFrame)
 	}
 	padded := frameSize
 	if over := frameSize % 16; over != 0 {

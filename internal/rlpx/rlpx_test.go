@@ -2,14 +2,17 @@ package rlpx
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/crypto/secp256k1"
 	"repro/internal/enode"
+	"repro/internal/testutil/leakcheck"
 )
 
 func testKey(t testing.TB, seed int64) *secp256k1.PrivateKey {
@@ -61,6 +64,7 @@ func handshakePair(t *testing.T, initKey, recipKey *secp256k1.PrivateKey) (*Conn
 }
 
 func TestHandshakeIdentities(t *testing.T) {
+	leakcheck.Check(t)
 	initKey, recipKey := testKey(t, 1), testKey(t, 2)
 	ic, rc := handshakePair(t, initKey, recipKey)
 	if ic.RemoteID() != enode.PubkeyID(&recipKey.Pub) {
@@ -72,6 +76,7 @@ func TestHandshakeIdentities(t *testing.T) {
 }
 
 func TestMessageExchange(t *testing.T) {
+	leakcheck.Check(t)
 	ic, rc := handshakePair(t, testKey(t, 3), testKey(t, 4))
 	ic.SetTimeouts(2*time.Second, 2*time.Second)
 	rc.SetTimeouts(2*time.Second, 2*time.Second)
@@ -104,6 +109,7 @@ func TestMessageExchange(t *testing.T) {
 }
 
 func TestManyMessagesBothDirections(t *testing.T) {
+	leakcheck.Check(t)
 	// The CTR keystream and rolling MACs must stay in sync over a
 	// long exchange with varied sizes.
 	ic, rc := handshakePair(t, testKey(t, 5), testKey(t, 6))
@@ -151,6 +157,7 @@ func TestManyMessagesBothDirections(t *testing.T) {
 }
 
 func TestHandshakeWrongRecipientKey(t *testing.T) {
+	leakcheck.Check(t)
 	// Initiator expects identity A but the listener holds key B: the
 	// ECIES decryption fails on the listener side and the initiator
 	// errors out.
@@ -170,9 +177,15 @@ func TestHandshakeWrongRecipientKey(t *testing.T) {
 }
 
 func TestFrameTamperingDetected(t *testing.T) {
+	leakcheck.Check(t)
 	// A bit flipped on the wire must break the frame MAC.
 	initKey, recipKey := testKey(t, 11), testKey(t, 12)
 	c1, c2 := net.Pipe()
+	// Closing both ends unblocks the garbage writer below: the reader
+	// consumes only the frame header before failing its MAC check, so
+	// the unbuffered pipe would otherwise pin the writer forever.
+	defer c1.Close()
+	defer c2.Close()
 	recipID := enode.PubkeyID(&recipKey.Pub)
 
 	// tamperConn flips a bit in the first frame after the handshake.
@@ -204,6 +217,7 @@ func TestFrameTamperingDetected(t *testing.T) {
 }
 
 func TestOverLoopbackTCP(t *testing.T) {
+	leakcheck.Check(t)
 	// Full handshake + messaging over a real TCP socket.
 	initKey, recipKey := testKey(t, 13), testKey(t, 14)
 	ln, err := net.Listen("tcp4", "127.0.0.1:0")
@@ -258,6 +272,7 @@ func TestOverLoopbackTCP(t *testing.T) {
 }
 
 func TestRTTAccessors(t *testing.T) {
+	leakcheck.Check(t)
 	ic, _ := handshakePair(t, testKey(t, 15), testKey(t, 16))
 	if ic.SmoothedRTT() != 0 {
 		t.Error("initial RTT not zero")
@@ -309,4 +324,76 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 	b.StopTimer()
 	ic.Close()
 	rc.Close()
+}
+
+// TestGiantFrameFailsFast pins the hardened read path's contract: a
+// header advertising the maximum encodable frame (0xFFFFFF bytes,
+// ~16 MiB) is rejected from the 32 header bytes alone — before the
+// frame buffer is allocated and before any body bytes are read. The
+// attacker sends ONLY the header; if the reader tried to read the
+// body it would block forever on the in-memory pipe rather than fail.
+func TestGiantFrameFailsFast(t *testing.T) {
+	leakcheck.Check(t)
+	initKey, recipKey := testKey(t, 20), testKey(t, 21)
+	ic, rc := handshakePair(t, initKey, recipKey)
+
+	// Hand-craft a valid (correctly encrypted and MAC'd) header using
+	// the initiator's egress state, claiming a 16 MiB frame.
+	var header [16]byte
+	header[0], header[1], header[2] = 0xFF, 0xFF, 0xFF
+	copy(header[3:], zeroHeader)
+	ic.rw.enc.XORKeyStream(header[:], header[:])
+	var wire [32]byte
+	copy(wire[:16], header[:])
+	copy(wire[16:], ic.rw.em.computeHeaderMAC(header[:]))
+
+	writeDone := make(chan error, 1)
+	go func() {
+		_, err := ic.fd.Write(wire[:])
+		writeDone <- err
+	}()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, _, err := rc.ReadMsg()
+	runtime.ReadMemStats(&after)
+
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+	if werr := <-writeDone; werr != nil {
+		t.Fatalf("header write: %v", werr)
+	}
+	// The reject path may allocate error strings and scanner scratch,
+	// but never anything on the order of the advertised frame.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("reader allocated %d bytes for a frame it rejected from the header", grew)
+	}
+}
+
+// TestMaxReadFrameConfigurable checks the cap is tunable per
+// connection: a payload legal under the default 1 MiB cap fails once
+// the receiver lowers its cap below the payload size, and the error
+// is the taxonomy's ErrFrameTooBig.
+func TestMaxReadFrameConfigurable(t *testing.T) {
+	leakcheck.Check(t)
+	initKey, recipKey := testKey(t, 22), testKey(t, 23)
+	ic, rc := handshakePair(t, initKey, recipKey)
+
+	rc.SetMaxReadFrame(4096)
+	payload := bytes.Repeat([]byte{0x55}, 8192)
+	writeDone := make(chan error, 1)
+	go func() {
+		writeDone <- ic.WriteMsg(0x10, payload)
+	}()
+	_, _, err := rc.ReadMsg()
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+	// Unblock the writer (the pipe is unbuffered and the reader
+	// stopped at the header).
+	rc.Close()
+	ic.Close()
+	<-writeDone
 }

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/big"
 	"math/rand"
@@ -11,8 +12,12 @@ import (
 	"repro/internal/devp2p"
 	"repro/internal/enode"
 	"repro/internal/eth"
+	"repro/internal/faultnet"
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
+	"repro/internal/rlp"
+	"repro/internal/rlpx"
+	"repro/internal/snappy"
 )
 
 // Timing constants mirroring the real stack's behavior.
@@ -24,6 +29,20 @@ const (
 var (
 	errConnRefused = errors.New("connect: connection refused")
 	errTimeout     = errors.New("i/o timeout")
+
+	// Hostile-node failures mirror the exact error shapes the real
+	// transport produces against faultnet's hostile servers, wrapping
+	// the same sentinel errors, so nodefinder.OutcomeClass buckets a
+	// simulated attack identically to a real one.
+	errSimNeverAck  = errors.New("rlpx: reading handshake size: i/o timeout")
+	errSimHangHello = errors.New("rlpx: reading hello frame: i/o timeout")
+	errSimReset     = errors.New("read: connection reset by peer")
+	errSimGarbage   = errors.New("rlpx: reading handshake ack: invalid message")
+	errSimBadMAC    = fmt.Errorf("rlpx: %w", rlpx.ErrBadHeaderMAC)
+	errSimGiant     = fmt.Errorf("rlpx: %w: %d > %d", rlpx.ErrFrameTooBig, 2<<20, rlpx.DefaultMaxReadFrame)
+	errSimBigHello  = fmt.Errorf("devp2p: reading hello: %w", devp2p.ErrMsgTooBig)
+	errSimBadRLP    = fmt.Errorf("devp2p: decoding hello: %w", rlp.ErrValueTooLarge)
+	errSimSnappy    = fmt.Errorf("rlpx: decompressing payload: %w", snappy.ErrTooLarge)
 )
 
 // SimDiscovery implements nodefinder.Discovery over the world. Each
@@ -144,6 +163,12 @@ func (d *SimDialer) outcome(target *enode.Node, kind mlog.ConnType, start time.T
 	rtt := time.Duration(float64(n.RTTMedian) * math.Exp(d.rng.NormFloat64()*0.25))
 	res.RTT = rtt
 
+	// Hostile nodes attack the wire before any honest outcome class
+	// can apply.
+	if n.Hostile {
+		return d.hostileOutcome(n, res, rtt, start)
+	}
+
 	// Peer-limit check happens before the protocol handshake, as in
 	// Geth: a full node rejects with Too many peers and no HELLO.
 	if d.rng.Float64() < n.Occupancy {
@@ -180,6 +205,58 @@ func (d *SimDialer) outcome(target *enode.Node, kind mlog.ConnType, start time.T
 		return res, 6 * rtt
 	}
 	return res, 5 * rtt
+}
+
+// hostileOutcome models a dial against one of faultnet's hostile
+// peer behaviors, with the failure surfacing at the same protocol
+// stage — and carrying the same sentinel error — as the real stack
+// produces. Caller holds d.mu.
+func (d *SimDialer) hostileOutcome(n *SimNode, res *nodefinder.DialResult, rtt time.Duration, start time.Time) (*nodefinder.DialResult, time.Duration) {
+	switch n.HostileKind {
+	case faultnet.HostileNeverAck:
+		// Auth sent, no ack: the handshake deadline expires.
+		res.Err = errSimNeverAck
+		return res, rlpx.HandshakeTimeout
+	case faultnet.HostileHangAfterHandshake:
+		// RLPx completes, then silence where HELLO belongs.
+		res.Err = errSimHangHello
+		return res, rlpx.HandshakeTimeout + 2*rtt
+	case faultnet.HostileWrongMAC:
+		res.Err = errSimBadMAC
+		return res, 3 * rtt
+	case faultnet.HostileGiantFrame:
+		res.Err = errSimGiant
+		return res, 3 * rtt
+	case faultnet.HostileOversizedHello:
+		res.Err = errSimBigHello
+		return res, 3 * rtt
+	case faultnet.HostileBadRLPHello:
+		res.Err = errSimBadRLP
+		return res, 3 * rtt
+	case faultnet.HostileSnappyBomb:
+		// The bomb lands after a successful HELLO, exactly like the
+		// real attack: census-wise the node responded, but the eth
+		// handshake dies in decompression.
+		res.Hello = d.W.helloFor(n, start)
+		res.Err = errSimSnappy
+		return res, 4 * rtt
+	case faultnet.HostileStatusFlood:
+		// The flood handshakes honestly; the productive part of the
+		// census still records it (the crawler disconnects after
+		// STATUS regardless).
+		res.Hello = d.W.helloFor(n, start)
+		if n.Service == SvcEth {
+			res.Status = d.W.statusFor(n, start)
+			res.BestBlock = n.BestBlockAt(start)
+		}
+		return res, 5 * rtt
+	case faultnet.HostileImmediateReset:
+		res.Err = errSimReset
+		return res, rtt
+	default: // HostileGarbage
+		res.Err = errSimGarbage
+		return res, 2 * rtt
+	}
 }
 
 // helloFor builds a node's HELLO at virtual time t.

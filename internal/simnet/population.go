@@ -26,6 +26,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/crypto/keccak"
 	"repro/internal/enode"
+	"repro/internal/faultnet"
 	"repro/internal/geo"
 	"repro/internal/simclock"
 )
@@ -166,6 +167,12 @@ type SimNode struct {
 	// Latency model: median RTT for dials to this node.
 	RTTMedian time.Duration
 
+	// Hostile marks nodes that are adversarial at the wire level:
+	// they execute one of faultnet's hostile peer models instead of
+	// honest protocol. HostileKind is meaningful only when Hostile.
+	Hostile     bool
+	HostileKind faultnet.HostileKind
+
 	// Abusive marks §5.4 spam identities.
 	Abusive bool
 	// Born/Died bound the identity's lifetime (abusive IDs live
@@ -203,6 +210,10 @@ type WorldConfig struct {
 	// AltNetworks is the number of distinct alternative networks to
 	// mint (Figure 9's long tail, scaled).
 	AltNetworks int
+	// HostileFraction is the share of the base population that is
+	// wire-hostile (faultnet's hostile peer models). Zero keeps the
+	// world uniformly well-behaved, the pre-faultnet default.
+	HostileFraction float64
 }
 
 // DefaultConfig is a laptop-scale world preserving the paper's
@@ -344,6 +355,14 @@ func (w *World) mintNode() *SimNode {
 	}
 	country := w.Geo.Country(ip)
 	n.RTTMedian = rttForCountry(country, rng)
+
+	// A HostileFraction slice of the world is adversarial on the
+	// wire: its protocol identity below is what it *claims* during
+	// discovery, but dials hit one of faultnet's attack behaviors.
+	if rng.Float64() < w.Cfg.HostileFraction {
+		n.Hostile = true
+		n.HostileKind = faultnet.HostileKind(rng.Intn(int(faultnet.NumHostileKinds)))
+	}
 
 	switch n.Service {
 	case SvcEth:

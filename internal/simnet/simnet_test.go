@@ -6,8 +6,11 @@ import (
 
 	"repro/internal/devp2p"
 	"repro/internal/enode"
+	"repro/internal/faultnet"
+	"repro/internal/metrics"
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
+	"repro/internal/testutil/leakcheck"
 )
 
 func smallWorld(seed int64, nodes int) *World {
@@ -19,6 +22,7 @@ func smallWorld(seed int64, nodes int) *World {
 }
 
 func TestPopulationShape(t *testing.T) {
+	leakcheck.Check(t)
 	w := smallWorld(1, 2000)
 	svc := map[Service]int{}
 	clients := map[ClientType]int{}
@@ -55,6 +59,7 @@ func TestPopulationShape(t *testing.T) {
 }
 
 func TestAbusiveGenerators(t *testing.T) {
+	leakcheck.Check(t)
 	w := smallWorld(2, 100)
 	before := len(w.Nodes)
 	w.Clock.Advance(12 * time.Hour)
@@ -91,6 +96,7 @@ func TestAbusiveGenerators(t *testing.T) {
 }
 
 func TestVersionLifecycle(t *testing.T) {
+	leakcheck.Check(t)
 	w := smallWorld(3, 500)
 	early := w.Cfg.Start
 	late := early.Add(80 * 24 * time.Hour)
@@ -116,6 +122,7 @@ func TestVersionLifecycle(t *testing.T) {
 }
 
 func TestFreshnessModel(t *testing.T) {
+	leakcheck.Check(t)
 	w := smallWorld(4, 2000)
 	now := w.Cfg.Start.Add(5 * 24 * time.Hour)
 	head := w.Mainnet.HeadAt(now)
@@ -173,6 +180,7 @@ func crawl(t *testing.T, w *World, d time.Duration, incomingMean time.Duration) 
 }
 
 func TestCrawlDiscoversPopulation(t *testing.T) {
+	leakcheck.Check(t)
 	w := smallWorld(5, 400)
 	f, col := crawl(t, w, 8*time.Hour, 30*time.Second)
 	st := f.Stats()
@@ -208,7 +216,82 @@ func TestCrawlDiscoversPopulation(t *testing.T) {
 	}
 }
 
+// TestHostilePopulationCensus runs a crawl over a world where a
+// third of the population mounts faultnet's wire attacks, and checks
+// that (a) the honest census still forms, (b) every hostile failure
+// surfaces in the same metrics taxonomy the real transport feeds,
+// and (c) no hostile node (save the honestly-handshaking STATUS
+// flooder) ever contributes a verified STATUS to the census.
+func TestHostilePopulationCensus(t *testing.T) {
+	leakcheck.Check(t)
+	cfg := DefaultConfig(8)
+	cfg.BaseNodes = 500
+	cfg.AbusiveIPs = 1
+	cfg.HostileFraction = 0.35
+
+	w := NewWorld(cfg)
+	hostileCount := 0
+	for _, n := range w.Nodes {
+		if n.Hostile {
+			hostileCount++
+		}
+	}
+	if frac := float64(hostileCount) / float64(len(w.Nodes)); frac < 0.28 || frac > 0.42 {
+		t.Fatalf("hostile fraction %.3f, want ≈0.35", frac)
+	}
+
+	reg := metrics.New()
+	col := mlog.NewCollector()
+	dialer := w.NewDialer(200)
+	dialer.Metrics = nodefinder.NewDialerMetrics(reg)
+	f, err := nodefinder.New(nodefinder.Config{
+		Clock:     w.Clock,
+		Discovery: w.NewDiscovery(100),
+		Dialer:    dialer,
+		Log:       col,
+		Metrics:   reg,
+		Seed:      300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	w.Clock.Advance(12 * time.Hour)
+	f.Stop()
+
+	honest, hostileStatus := 0, 0
+	for _, e := range col.Entries() {
+		n := w.NodeByID(mustID(t, e.NodeID))
+		if n == nil {
+			continue
+		}
+		if !n.Hostile && e.Status != nil {
+			honest++
+		}
+		if n.Hostile && e.Status != nil && n.HostileKind != faultnet.HostileStatusFlood {
+			hostileStatus++
+		}
+	}
+	if honest == 0 {
+		t.Fatal("hostile minority starved the honest census entirely")
+	}
+	if hostileStatus != 0 {
+		t.Errorf("%d verified STATUS entries from hostile nodes", hostileStatus)
+	}
+
+	snap := reg.Snapshot()
+	for _, class := range []string{
+		"rlpx-bad-mac", "frame-oversize", "msg-oversize", "snappy-corrupt",
+		"rlp-malformed", "handshake-timeout", "tcp-reset", "rlpx-error",
+	} {
+		if snap.Counter("finder.conn_errors{"+class+"}") == 0 {
+			t.Errorf("simulated attacks never surfaced class %q", class)
+		}
+	}
+}
+
 func TestUnreachableOnlyViaIncoming(t *testing.T) {
+	leakcheck.Check(t)
 	w := smallWorld(6, 300)
 	_, col := crawl(t, w, 6*time.Hour, 20*time.Second)
 	unreachableSeen := map[string]mlog.ConnType{}
@@ -232,6 +315,7 @@ func TestUnreachableOnlyViaIncoming(t *testing.T) {
 }
 
 func TestEthernodesRelationship(t *testing.T) {
+	leakcheck.Check(t)
 	w := smallWorld(7, 1200)
 	from := w.Cfg.Start
 	en := w.Ethernodes(DefaultEthernodesConfig(9), from)
@@ -263,6 +347,7 @@ func TestEthernodesRelationship(t *testing.T) {
 }
 
 func TestCaseStudyGeth(t *testing.T) {
+	leakcheck.Check(t)
 	res := RunCaseStudy(DefaultGethObserver(1))
 	// Figure 4: converge to 25 peers within minutes; ≥99% occupancy.
 	if res.TimeToFull > 30*time.Minute {
@@ -294,6 +379,7 @@ func TestCaseStudyGeth(t *testing.T) {
 }
 
 func TestCaseStudyParityDifferences(t *testing.T) {
+	leakcheck.Check(t)
 	geth := RunCaseStudy(DefaultGethObserver(2))
 	parity := RunCaseStudy(DefaultParityObserver(2))
 	// Parity converges to 50 peers.

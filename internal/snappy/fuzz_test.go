@@ -1,0 +1,58 @@
+package snappy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode attacks the snappy decoder with arbitrary compressed
+// streams. Invariants: no panic; the announced-length cap holds (a
+// decode that succeeds under DecodeCapped never exceeds its cap);
+// and anything our encoder produced round-trips exactly.
+func FuzzDecode(f *testing.F) {
+	for _, src := range [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("hello hello hello hello hello"),
+		bytes.Repeat([]byte{0x00}, 1000),
+		bytes.Repeat([]byte("abcd"), 500),
+	} {
+		enc, err := Encode(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	// Hostile shapes: bomb headers announcing huge lengths, truncated
+	// varints, copies reaching before the start of the buffer.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F})       // ~4 GiB announced, no body
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}) // unterminated varint
+	f.Add([]byte{0x04, 0x0C, 0x61, 0x61, 0x61})       // literal then nothing
+	f.Add([]byte{0x02, 0x01, 0x00})                   // copy with offset beyond start
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err == nil {
+			if len(out) > MaxBlockSize {
+				t.Fatalf("decode produced %d bytes, above MaxBlockSize", len(out))
+			}
+			// Compress-decompress must reproduce the decoder's output.
+			enc, err := Encode(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("re-decode of our own encoding failed: %v", err)
+			}
+			if !bytes.Equal(rt, out) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+		// The capped variant must enforce its bound no matter what.
+		capped, cerr := DecodeCapped(data, 64)
+		if cerr == nil && len(capped) > 64 {
+			t.Fatalf("DecodeCapped(64) returned %d bytes", len(capped))
+		}
+	})
+}

@@ -182,13 +182,26 @@ func DecodedLen(src []byte) (int, error) {
 	return int(n), nil
 }
 
-// Decode decompresses a Snappy block.
+// Decode decompresses a Snappy block, accepting any announced length
+// up to MaxBlockSize.
 func Decode(src []byte) ([]byte, error) {
+	return DecodeCapped(src, MaxBlockSize)
+}
+
+// DecodeCapped decompresses a Snappy block whose announced
+// uncompressed length is at most maxLen. The check runs before any
+// allocation, so a "snappy bomb" — a few bytes advertising a huge
+// decoded length — fails fast without reserving the claimed space.
+// Transports should pass their own message-size limit here.
+func DecodeCapped(src []byte, maxLen int) ([]byte, error) {
 	dLen64, consumed := readUvarint(src)
 	if consumed == 0 {
 		return nil, ErrCorrupt
 	}
-	if dLen64 > MaxBlockSize {
+	if maxLen > MaxBlockSize {
+		maxLen = MaxBlockSize
+	}
+	if dLen64 > uint64(maxLen) {
 		return nil, ErrTooLarge
 	}
 	dLen := int(dLen64)

@@ -1,0 +1,68 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder implements TB and captures failures instead of failing.
+type recorder struct {
+	cleanups []func()
+	failures []string
+}
+
+func (r *recorder) Cleanup(fn func())                 { r.cleanups = append(r.cleanups, fn) }
+func (r *recorder) Errorf(format string, args ...any) { r.failures = append(r.failures, format) }
+func (r *recorder) Helper()                           {}
+func (r *recorder) runCleanups() {
+	for _, fn := range r.cleanups {
+		fn()
+	}
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	rec := &recorder{}
+	Check(rec, Window(100*time.Millisecond))
+	rec.runCleanups()
+	if len(rec.failures) != 0 {
+		t.Fatalf("clean test flagged as leaking: %v", rec.failures)
+	}
+}
+
+func TestLeakedGoroutineDetected(t *testing.T) {
+	rec := &recorder{}
+	Check(rec, Window(200*time.Millisecond))
+	stop := make(chan struct{})
+	go func() { <-stop }() // deliberately outlives the "test"
+	rec.runCleanups()
+	close(stop)
+	if len(rec.failures) == 0 {
+		t.Fatal("leaked goroutine not detected")
+	}
+}
+
+func TestSlowExitWithinWindowPasses(t *testing.T) {
+	rec := &recorder{}
+	Check(rec, Window(2*time.Second))
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond) // unwinds during the retry window
+		close(done)
+	}()
+	<-done
+	rec.runCleanups()
+	if len(rec.failures) != 0 {
+		t.Fatalf("goroutine that exited within the window flagged: %v", rec.failures)
+	}
+}
+
+func TestDiffIsMultiset(t *testing.T) {
+	before := []string{"a", "a", "b"}
+	after := []string{"a", "b", "b", "c"}
+	got := diff(before, after)
+	want := []string{"b", "c"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("diff = %v, want %v", got, want)
+	}
+}
