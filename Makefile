@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-crypto fmt-check ci experiments quickstart clean fuzz-smoke chaos
+.PHONY: all build vet test race bench bench-crypto fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
 
 all: build vet test
 
@@ -11,7 +11,7 @@ fmt-check:
 	fi
 
 # Reproduce the full CI pipeline (.github/workflows/ci.yml) locally.
-ci: fmt-check build vet test race bench-smoke fuzz-smoke chaos
+ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos
 
 # 30 seconds of coverage-guided fuzzing per untrusted-input decoder.
 # Each target also replays its committed regression corpus first.
@@ -36,6 +36,12 @@ bench-smoke:
 
 build:
 	go build ./...
+
+# Repo-specific static invariants (see DESIGN.md "Static invariants"):
+# bounded wire allocations, clock discipline, taxonomy coverage, no
+# locks across conn I/O, conn Close on every path.
+lint:
+	go run ./cmd/repolint ./...
 
 vet:
 	go vet ./...

@@ -1,0 +1,53 @@
+// Command repolint runs the repository's custom invariant analyzers
+// (internal/lint) over every package in the module and exits non-zero
+// if any unsuppressed finding remains.
+//
+// Usage:
+//
+//	go run ./cmd/repolint ./...
+//
+// The package pattern argument is accepted for familiarity; the tool
+// always lints the whole module containing the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print analyzer docs and per-analyzer finding counts")
+	flag.Parse()
+
+	root, modulePath, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	loader := lint.NewLoader(root, modulePath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	analyzers := lint.RepoAnalyzers(modulePath)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "repolint: %d packages, %d analyzers\n", len(pkgs), len(analyzers))
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name(), a.Doc())
+		}
+	}
+	findings := lint.Run(loader, pkgs, analyzers)
+	for _, f := range findings {
+		rel := f
+		rel.Pos.Filename = loader.RelPath(f.Pos.Filename)
+		fmt.Println(rel.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -62,6 +62,9 @@ func DialAttemptSeries(entries []*mlog.Entry, start time.Time, days int) (dynami
 			dynamic.Days[d]++
 		case mlog.ConnStaticDial:
 			static.Days[d]++
+		case mlog.ConnIncoming:
+			// Figures 5 and 8 chart outbound dials only; inbound
+			// sessions are deliberately excluded here.
 		}
 	}
 	return dynamic, static
@@ -85,6 +88,9 @@ func NodeDialSeries(entries []*mlog.Entry, nodeID string, start time.Time, days 
 			dynamic.Days[d]++
 		case mlog.ConnStaticDial:
 			static.Days[d]++
+		case mlog.ConnIncoming:
+			// Figures 5 and 8 chart outbound dials only; inbound
+			// sessions are deliberately excluded here.
 		}
 	}
 	return dynamic, static

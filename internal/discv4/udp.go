@@ -254,6 +254,7 @@ func (t *Transport) expireLoop() {
 		case <-t.closed:
 			t.mu.Lock()
 			for _, p := range t.pending {
+				//lint:ignore locknet errc is buffered (cap 1) and each pending entry resolves once, so the send cannot block
 				p.errc <- errors.New("discv4: transport closed")
 			}
 			t.pending = nil
@@ -264,6 +265,7 @@ func (t *Transport) expireLoop() {
 			kept := t.pending[:0]
 			for _, p := range t.pending {
 				if now.After(p.deadline) {
+					//lint:ignore locknet errc is buffered (cap 1) and each pending entry resolves once, so the send cannot block
 					p.errc <- errTimeout
 				} else {
 					kept = append(kept, p)
@@ -397,6 +399,7 @@ func (t *Transport) deliver(from enode.ID, ptype byte, pkt any) {
 			consumed, done := p.matched(pkt)
 			matched = matched || consumed
 			if done {
+				//lint:ignore locknet errc is buffered (cap 1) and each pending entry resolves once, so the send cannot block
 				p.errc <- nil
 				continue
 			}

@@ -77,7 +77,7 @@ func TestHostileTaxonomy(t *testing.T) {
 		{faultnet.HostileSnappyBomb, []string{"snappy-corrupt"}},
 		{faultnet.HostileStatusFlood, []string{"eth-handshake"}},
 		{faultnet.HostileImmediateReset, []string{"tcp-reset", "rlpx-error", "error-other"}},
-		{faultnet.HostileGarbage, []string{"rlpx-error"}},
+		{faultnet.HostileGarbage, []string{"rlpx-bad-handshake", "rlpx-error"}},
 	}
 
 	c := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "taxonomy", DAOFork: true, Length: 8})

@@ -50,6 +50,7 @@ func (c *conn) sleep(d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}
+	//lint:ignore wallclock fault delays emulate real network latency on real sockets; tests keep them sub-millisecond
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -165,6 +165,7 @@ func (s *HostileServer) acceptLoop() {
 				delete(s.conns, fd)
 				s.mu.Unlock()
 			}()
+			//lint:ignore wallclock socket deadlines are absolute wall-clock instants the kernel compares against real time
 			fd.SetDeadline(time.Now().Add(hostileConnDeadline)) //nolint:errcheck
 			s.serve(fd, rand.New(rand.NewSource(seed)))
 		}()

@@ -1,0 +1,65 @@
+package lint
+
+// RepoAnalyzers returns the five invariant analyzers configured for
+// this repository's contracts. module is the module path from go.mod
+// ("repro"); taking it as a parameter keeps the analyzers themselves
+// reusable against the golden testdata trees, which load under a
+// different module path.
+func RepoAnalyzers(module string) []Analyzer {
+	return []Analyzer{
+		&BoundedAlloc{
+			// Packages that parse bytes a remote peer controls. An
+			// unchecked make() here converts a forged length field into
+			// an allocation the attacker sizes.
+			Packages: []string{
+				module + "/internal/rlp",
+				module + "/internal/rlpx",
+				module + "/internal/devp2p",
+				module + "/internal/eth",
+				module + "/internal/snappy",
+				module + "/internal/discv4",
+			},
+		},
+		&Wallclock{
+			// Packages driven by simclock.Clock in simulated 82-day
+			// runs. A stray time.Now here silently decouples a
+			// component from the virtual clock and corrupts the crawl
+			// timeline.
+			Packages: []string{
+				module + "/internal/simnet",
+				module + "/internal/discv4",
+				module + "/internal/nodefinder",
+				module + "/internal/faultnet",
+				module + "/internal/ethnode",
+				module + "/internal/rlpx",
+			},
+			// Whole files excused from clock injection, each with the
+			// reason printed when -v is set. Individual lines elsewhere
+			// use //lint:ignore wallclock <reason>.
+			AllowFiles: map[string]string{
+				"internal/discv4/udp.go": "discv4 speaks wall-clock Unix expirations on the real UDP wire; " +
+					"the transport is never driven by the simulated clock (simnet simulates discovery instead)",
+				"internal/discv4/maintenance.go": "bucket revalidation/refresh tickers pace the real UDP transport, " +
+					"which only runs against live sockets",
+				"internal/ethnode/ethnode.go": "ethnode is the in-process honest peer for real-socket integration " +
+					"tests; it deliberately runs on wall time like the remote peers it stands in for",
+			},
+		},
+		&ErrTaxonomy{
+			Transports: []string{
+				module + "/internal/rlpx",
+				module + "/internal/devp2p",
+				module + "/internal/eth",
+				module + "/internal/snappy",
+				module + "/internal/faultnet",
+			},
+			ClassifierPkg:  module + "/internal/nodefinder",
+			ClassifierFunc: "OutcomeClass",
+			EnumTypes: []string{
+				module + "/internal/nodefinder/mlog.ConnType",
+			},
+		},
+		&LockNet{},
+		&ConnClose{},
+	}
+}

@@ -1,0 +1,195 @@
+// Package lint is a from-scratch static-analysis driver for this
+// repository, built only on the standard library's go/parser, go/ast,
+// and go/types (no golang.org/x/tools — the build environment is
+// offline). It enforces the repo-wide contracts the runtime test
+// suites can only check probabilistically:
+//
+//   - boundedalloc: every wire-derived length is capped before memory
+//     is allocated for it (the bug class behind the 16 MiB-frame and
+//     rlp size-overflow fixes).
+//   - wallclock: clocked packages observe time only through
+//     simclock.Clock, keeping simulated 82-day crawls deterministic.
+//   - errtaxonomy: every transport sentinel error is classifiable by
+//     nodefinder's OutcomeClass, and enum-style switches are
+//     exhaustive, so no failure disappears from the census taxonomy.
+//   - locknet: no mutex is held across net.Conn I/O or blocking
+//     channel operations (the stall shape chaos tests find only by
+//     luck).
+//   - connclose: every net.Conn acquired from a dialer has Close
+//     reachable on all exit paths of the acquiring function.
+//
+// Findings can be suppressed with a justified inline directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on, or on the line above, the offending line. The reason is
+// mandatory; a bare suppression is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders a finding as file:line:col: analyzer: message, with
+// the file path left exactly as the loader resolved it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker. Run receives every loaded module
+// package at once because some contracts (errtaxonomy) are inherently
+// cross-package.
+type Analyzer interface {
+	// Name is the identifier used in output and suppression comments.
+	Name() string
+	// Doc is a one-line description of the contract enforced.
+	Doc() string
+	// Run reports all violations found in pkgs.
+	Run(l *Loader, pkgs []*Package) []Finding
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "lint:ignore"
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+// Run executes the analyzers over pkgs, filters findings through
+// //lint:ignore directives, appends findings for malformed
+// suppressions, and returns everything sorted by position.
+func Run(l *Loader, pkgs []*Package, analyzers []Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	var all []Finding
+	for _, a := range analyzers {
+		known[a.Name()] = true
+		all = append(all, a.Run(l, pkgs)...)
+	}
+
+	sups, bad := collectSuppressions(pkgs, known)
+	kept := all[:0]
+	for _, f := range all {
+		if !suppressed(sups, f) {
+			kept = append(kept, f)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// collectSuppressions parses every //lint:ignore directive in pkgs.
+// Directives missing a reason, or naming an unknown analyzer, are
+// returned as findings instead of suppressions: the policy is that a
+// silence must always carry a written justification.
+func collectSuppressions(pkgs []*Package, known map[string]bool) ([]suppression, []Finding) {
+	var sups []suppression
+	var bad []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					if len(fields) == 0 {
+						bad = append(bad, Finding{Pos: pos, Analyzer: "lint",
+							Message: "suppression names no analyzer: //lint:ignore <analyzer> <reason>"})
+						continue
+					}
+					name := fields[0]
+					if !known[name] {
+						bad = append(bad, Finding{Pos: pos, Analyzer: "lint",
+							Message: fmt.Sprintf("suppression references unknown analyzer %q", name)})
+						continue
+					}
+					reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(text, ignorePrefix+" "+name), name))
+					if reason == "" {
+						bad = append(bad, Finding{Pos: pos, Analyzer: "lint",
+							Message: fmt.Sprintf("suppression of %q carries no reason; a justification is required", name)})
+						continue
+					}
+					sups = append(sups, suppression{analyzer: name, reason: reason, file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// suppressed reports whether f is covered by a directive on the same
+// line or the line directly above it.
+func suppressed(sups []suppression, f Finding) bool {
+	for _, s := range sups {
+		if s.analyzer != f.Analyzer || s.file != f.Pos.Filename {
+			continue
+		}
+		if s.line == f.Pos.Line || s.line == f.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// funcBodies returns every function body in the file — declarations
+// and literals — so statement-flow analyzers treat closures as
+// independent functions.
+func funcBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		case *ast.FuncLit:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		}
+		return true
+	})
+	return bodies
+}
+
+// hasPrefixPath reports whether path equals prefix or sits below it.
+func hasPrefixPath(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// matchesAny reports whether path matches any import-path prefix.
+func matchesAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if hasPrefixPath(path, p) {
+			return true
+		}
+	}
+	return false
+}

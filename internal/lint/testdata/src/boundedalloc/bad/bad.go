@@ -1,0 +1,54 @@
+// Package bad demonstrates the allocation shapes boundedalloc must
+// flag: a peer-declared length reaching make() unchecked, and an
+// unbounded slurp of a peer-controlled stream.
+package bad
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// ReadFrame allocates whatever the peer's header declared.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, size) // want "make sized by size"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// Drain trusts the reader to stop on its own.
+func Drain(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r) // want "io.ReadAll reads until EOF with no size bound"
+}
+
+// Entries preallocates a peer-declared element count.
+func Entries(r io.Reader) ([]uint64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint64(hdr[:])
+	out := make([]uint64, 0, count) // want "make sized by count"
+	for i := uint64(0); i < count; i++ {
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// CheckedTooLate guards the size only after the allocation happened.
+func CheckedTooLate(r io.Reader, limit uint64) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint64(hdr[:])
+	buf := make([]byte, size) // want "make sized by size"
+	if size > limit {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf, nil
+}

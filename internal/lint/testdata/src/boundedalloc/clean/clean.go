@@ -1,0 +1,69 @@
+// Package clean is boundedalloc's silent twin: every allocation is
+// capped by a dominating guard, a small fixed-width prefix type, or
+// in-memory data the peer cannot inflate.
+package clean
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxFrame = 1 << 16
+
+// ErrTooBig rejects oversized declarations.
+var ErrTooBig = errors.New("clean: frame too big")
+
+// ReadChecked aborts on the oversize branch before allocating.
+func ReadChecked(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, ErrTooBig
+	}
+	buf := make([]byte, size)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ReadClamped clamps the declared size instead of rejecting it.
+func ReadClamped(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		size = maxFrame
+	}
+	buf := make([]byte, size)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ReadShort trusts a two-byte prefix, which cannot exceed 65535.
+func ReadShort(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(hdr[:])
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// CopyBounded sizes by len, which reflects data already in memory.
+func CopyBounded(src []byte) []byte {
+	dst := make([]byte, len(src))
+	copy(dst, src)
+	return dst
+}
+
+// MinBounded caps with the min builtin.
+func MinBounded(declared int) []byte {
+	return make([]byte, min(declared, maxFrame))
+}

@@ -1,0 +1,29 @@
+// Package bad leaks connections: conns acquired from dial calls whose
+// Close is missing entirely or unreachable on some exit path.
+package bad
+
+import "net"
+
+// Probe never closes the conn it dialed.
+func Probe(addr string) error {
+	conn, err := net.Dial("tcp", addr) // want "never closed in this function"
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write([]byte("ping"))
+	return err
+}
+
+// Handshake closes on the failure path but leaks on success.
+func Handshake(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil // want "exit path drops net.Conn conn"
+}

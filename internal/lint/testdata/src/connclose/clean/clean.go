@@ -1,0 +1,48 @@
+// Package clean is connclose's silent twin: every dialed conn is
+// either deferred-closed, closed on each path, or visibly handed off
+// to another owner.
+package clean
+
+import "net"
+
+// Probe defers Close at the acquisition.
+func Probe(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := make([]byte, 16)
+	_, err = conn.Read(buf)
+	return err
+}
+
+// Open transfers ownership to the caller.
+func Open(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Serve hands the conn to a helper that owns it from then on.
+func Serve(addr string, handle func(net.Conn)) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	handle(conn)
+	return nil
+}
+
+// Sequential closes explicitly before every exit.
+func Sequential(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write([]byte("ping"))
+	conn.Close()
+	return err
+}

@@ -1,0 +1,54 @@
+// Package classify is errtaxonomy's silent twin on the consumer side:
+// the classifier handles every sentinel and all switches exhaust
+// their enums.
+package classify
+
+import (
+	"errors"
+
+	"lintest/errtaxclean/transport"
+)
+
+// Kind is the enum type consumers switch over.
+type Kind string
+
+// The declared Kind values.
+const (
+	KindDial     Kind = "dial"
+	KindIncoming Kind = "incoming"
+)
+
+// Classify buckets every transport sentinel.
+func Classify(err error) string {
+	switch {
+	case errors.Is(err, transport.ErrAlpha):
+		return "alpha"
+	case errors.Is(err, transport.ErrBeta):
+		return "beta"
+	}
+	return "other"
+}
+
+// Describe covers every Kind.
+func Describe(k Kind) string {
+	switch k {
+	case KindDial:
+		return "dial"
+	case KindIncoming:
+		return "incoming"
+	}
+	return ""
+}
+
+// Buckets covers every class Classify returns.
+func Buckets(err error) int {
+	switch Classify(err) {
+	case "alpha":
+		return 1
+	case "beta":
+		return 2
+	case "other":
+		return 3
+	}
+	return 0
+}

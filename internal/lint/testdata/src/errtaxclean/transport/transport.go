@@ -1,0 +1,11 @@
+// Package transport is errtaxonomy's silent twin on the sentinel
+// side: every sentinel below is classifiable.
+package transport
+
+import "errors"
+
+// Sentinel failures, all reachable from the classifier.
+var (
+	ErrAlpha = errors.New("transport: alpha")
+	ErrBeta  = errors.New("transport: beta")
+)

@@ -1,0 +1,80 @@
+// Package classify holds the taxonomy: the classifier function, an
+// enum consumers switch over, and both compliant and defective
+// switches for errtaxonomy to judge.
+package classify
+
+import (
+	"errors"
+
+	"lintest/errtaxonomy/transport"
+)
+
+// Kind is the enum type switches must exhaust.
+type Kind string
+
+// The declared Kind values.
+const (
+	KindDial     Kind = "dial"
+	KindStatic   Kind = "static"
+	KindIncoming Kind = "incoming"
+)
+
+// Classify buckets a transport error; it knows only ErrHandled, so
+// the other transport sentinels are unreachable from the taxonomy.
+func Classify(err error) string {
+	if errors.Is(err, transport.ErrHandled) {
+		return "handled"
+	}
+	return "other"
+}
+
+// Describe drops KindIncoming on the floor.
+func Describe(k Kind) string {
+	switch k { // want "switch over classify.Kind is not exhaustive: missing KindIncoming"
+	case KindDial:
+		return "dial"
+	case KindStatic:
+		return "static"
+	}
+	return ""
+}
+
+// Covered enumerates every Kind value.
+func Covered(k Kind) string {
+	switch k {
+	case KindDial, KindStatic, KindIncoming:
+		return "known"
+	}
+	return ""
+}
+
+// Defaulted is exempt through its default clause.
+func Defaulted(k Kind) string {
+	switch k {
+	case KindDial:
+		return "dial"
+	default:
+		return "any"
+	}
+}
+
+// Buckets switches over the classifier's result without covering
+// every class it can return.
+func Buckets(err error) int {
+	switch Classify(err) { // want "misses classes other"
+	case "handled":
+		return 1
+	}
+	return 0
+}
+
+// BucketsAll covers every returned class.
+func BucketsAll(err error) int {
+	switch Classify(err) {
+	case "handled":
+		return 1
+	case "other":
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+// Package transport declares sentinels in the style of the repo's
+// wire packages. Two of them never reach the classifier — errtaxonomy
+// must point at their declarations.
+package transport
+
+import "errors"
+
+// Sentinel failures this transport can surface.
+var (
+	ErrHandled   = errors.New("transport: handled failure")
+	ErrForgotten = errors.New("transport: forgotten failure") // want "sentinel transport.ErrForgotten is not handled"
+	ErrOrphan    = errors.New("transport: orphan failure")    // want "sentinel transport.ErrOrphan is not handled"
+)

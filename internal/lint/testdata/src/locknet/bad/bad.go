@@ -1,0 +1,40 @@
+// Package bad holds mutexes across peer-controlled operations — the
+// stall shapes locknet exists to catch.
+package bad
+
+import (
+	"net"
+	"sync"
+)
+
+// Peer serializes access with a mutex.
+type Peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	out  chan []byte
+	seq  uint64
+}
+
+// Send writes to the conn while holding the lock: a slow peer blocks
+// every other Send.
+func (p *Peer) Send(msg []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	_, err := p.conn.Write(msg) // want "p.conn.Write on net.Conn while holding mutex p.mu"
+	return err
+}
+
+// Queue performs a blocking channel send inside the critical section.
+func (p *Peer) Queue(msg []byte) {
+	p.mu.Lock()
+	p.out <- msg // want "channel send while holding mutex p.mu"
+	p.mu.Unlock()
+}
+
+// Wait blocks on a receive with the lock held.
+func (p *Peer) Wait(ready chan struct{}) {
+	p.mu.Lock()
+	<-ready // want "channel receive while holding mutex p.mu"
+	p.mu.Unlock()
+}

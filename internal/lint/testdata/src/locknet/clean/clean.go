@@ -1,0 +1,41 @@
+// Package clean is locknet's silent twin: state is snapshotted under
+// the lock, I/O happens outside it, and in-section channel use is
+// non-blocking.
+package clean
+
+import (
+	"net"
+	"sync"
+)
+
+// Peer copies under the lock and performs I/O lock-free.
+type Peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+	out  chan []byte
+}
+
+// Send snapshots state inside the critical section, then writes after
+// releasing the lock.
+func (p *Peer) Send(msg []byte) error {
+	p.mu.Lock()
+	data := append([]byte(nil), p.buf...)
+	p.mu.Unlock()
+	data = append(data, msg...)
+	_, err := p.conn.Write(data)
+	return err
+}
+
+// TrySend stays non-blocking inside the critical section via the
+// select default.
+func (p *Peer) TrySend(msg []byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.out <- msg:
+		return true
+	default:
+		return false
+	}
+}

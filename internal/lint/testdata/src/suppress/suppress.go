@@ -1,0 +1,35 @@
+// Package suppress exercises the //lint:ignore machinery: a justified
+// directive silences its finding, while directives missing a reason or
+// naming an unknown analyzer are findings themselves and silence
+// nothing.
+package suppress
+
+import "time"
+
+// Good carries a written reason, so its clock read stays silent.
+func Good() time.Time {
+	//lint:ignore wallclock this package exercises the suppression machinery
+	return time.Now()
+}
+
+// MissingReason shows a bare directive: the directive is reported and
+// the clock read underneath is still flagged.
+func MissingReason() time.Time {
+	// wantnext "carries no reason"
+	//lint:ignore wallclock
+	return time.Now() // want "time.Now in clocked package suppress"
+}
+
+// UnknownAnalyzer references a checker that does not exist.
+func UnknownAnalyzer() time.Time {
+	// wantnext "unknown analyzer"
+	//lint:ignore notreal this analyzer does not exist
+	return time.Now() // want "time.Now in clocked package suppress"
+}
+
+// Nameless shows a directive with no analyzer at all.
+func Nameless() time.Time {
+	// wantnext "names no analyzer"
+	//lint:ignore
+	return time.Now() // want "time.Now in clocked package suppress"
+}

@@ -1,0 +1,23 @@
+// Package bad observes the wall clock directly in a clocked package —
+// every site below must be flagged.
+package bad
+
+import "time"
+
+// Poll spins on real time.
+func Poll(done chan struct{}) time.Duration {
+	start := time.Now()               // want "time.Now in clocked package bad"
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in clocked package bad"
+	select {
+	case <-done:
+	case <-time.After(time.Second): // want "time.After in clocked package bad"
+	}
+	return time.Since(start) // want "time.Since in clocked package bad"
+}
+
+// Schedule arms real timers.
+func Schedule(fn func()) *time.Timer {
+	t := time.NewTimer(time.Minute) // want "time.NewTimer in clocked package bad"
+	time.AfterFunc(time.Minute, fn) // want "time.AfterFunc in clocked package bad"
+	return t
+}

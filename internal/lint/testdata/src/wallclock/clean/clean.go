@@ -1,0 +1,27 @@
+// Package clean is wallclock's silent twin: time reaches it only
+// through an injected clock, and the only time-package identifiers
+// used are value arithmetic (Duration constants, Time methods), which
+// the analyzer must not confuse with clock reads.
+package clean
+
+import "time"
+
+// Clock is the injected time source; observing time through it is the
+// sanctioned pattern.
+type Clock interface {
+	Now() time.Time
+	Since(time.Time) time.Duration
+}
+
+const tick = 50 * time.Millisecond
+
+// Elapsed uses only the injected clock and time.Time methods —
+// now.After here is Time.After the comparison, not the forbidden
+// package function.
+func Elapsed(c Clock, start time.Time) time.Duration {
+	now := c.Now()
+	if now.After(start) {
+		return now.Sub(start)
+	}
+	return c.Since(start) + tick
+}

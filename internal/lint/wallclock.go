@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids direct wall-clock observation in packages that
+// must be drivable by simclock.Clock. The paper's measurements span 82
+// days; the repo reproduces them in seconds by injecting a simulated
+// clock everywhere, and a single stray time.Now() silently detaches a
+// component from the virtual timeline, making "82-day" census runs
+// both slow and non-deterministic.
+type Wallclock struct {
+	// Packages lists import-path prefixes of clocked packages.
+	Packages []string
+	// AllowFiles maps module-root-relative file paths to the written
+	// reason the whole file is excused (e.g. a transport that only
+	// runs against real sockets).
+	AllowFiles map[string]string
+}
+
+// wallclockForbidden are the time-package functions that observe or
+// schedule against the wall clock. time.Duration arithmetic and
+// time.Time values remain fine — only the *sources* of real time are
+// banned.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Name implements Analyzer.
+func (w *Wallclock) Name() string { return "wallclock" }
+
+// Doc implements Analyzer.
+func (w *Wallclock) Doc() string {
+	return "clocked packages must observe time only through simclock.Clock"
+}
+
+// Run implements Analyzer.
+func (w *Wallclock) Run(l *Loader, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if !matchesAny(pkg.Path, w.Packages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			rel := l.RelPath(pkg.Fset.Position(file.Pos()).Filename)
+			if _, ok := w.AllowFiles[rel]; ok {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockForbidden[fn.Name()] {
+					return true
+				}
+				// Methods like time.Time.After/Sub are pure value
+				// arithmetic, not clock reads; only package-level
+				// functions observe the wall clock.
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(sel.Pos()),
+					Analyzer: w.Name(),
+					Message: fmt.Sprintf("time.%s in clocked package %s: inject simclock.Clock instead",
+						fn.Name(), pkg.Types.Name()),
+				})
+				return true
+			})
+		}
+	}
+	return findings
+}

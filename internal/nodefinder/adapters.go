@@ -15,6 +15,7 @@ import (
 	"repro/internal/eth"
 	"repro/internal/nodefinder/mlog"
 	"repro/internal/rlpx"
+	"repro/internal/simclock"
 )
 
 // RealDiscovery adapts a discv4.Transport to the Discovery interface.
@@ -62,6 +63,17 @@ type RealDialer struct {
 	DialFunc func(network, address string, timeout time.Duration) (net.Conn, error)
 	// Metrics, when non-nil, receives per-outcome dial telemetry.
 	Metrics *DialerMetrics
+	// Clock supplies timestamps and durations; nil uses the system
+	// clock. Simulation harnesses inject simclock.Simulated here so
+	// dial timings land on the virtual timeline.
+	Clock simclock.Clock
+}
+
+func (d *RealDialer) clock() simclock.Clock {
+	if d.Clock != nil {
+		return d.Clock
+	}
+	return simclock.System{}
 }
 
 // DefaultDialTimeout is Geth's defaultDialTimeout (§4).
@@ -84,7 +96,8 @@ func (d *RealDialer) Dial(n *enode.Node, kind mlog.ConnType, done func(*DialResu
 }
 
 func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
-	res := &DialResult{Node: n, Kind: kind, Start: time.Now()}
+	clk := d.clock()
+	res := &DialResult{Node: n, Kind: kind, Start: clk.Now()}
 	timeout := d.DialTimeout
 	if timeout == 0 {
 		timeout = DefaultDialTimeout
@@ -94,14 +107,14 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 	if dialFn == nil {
 		dialFn = net.DialTimeout
 	}
-	tcpStart := time.Now()
+	tcpStart := clk.Now()
 	fd, err := dialFn("tcp", n.TCPAddr().String(), timeout)
 	if err != nil {
 		res.Err = fmt.Errorf("tcp dial: %w", err)
-		res.Duration = time.Since(res.Start)
+		res.Duration = clk.Since(res.Start)
 		return res
 	}
-	res.RTT = time.Since(tcpStart) // SYN round trip approximates sRTT
+	res.RTT = clk.Since(tcpStart) // SYN round trip approximates sRTT
 	defer fd.Close()
 
 	// The per-dial budget is one absolute deadline covering every
@@ -113,14 +126,14 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 	}
 	handshakeTimeout := rlpx.HandshakeTimeout
 	if budget > 0 {
-		fd.SetDeadline(time.Now().Add(budget)) //nolint:errcheck
+		fd.SetDeadline(clk.Now().Add(budget)) //nolint:errcheck
 		handshakeTimeout = 0
 	}
 
 	conn, err := rlpx.InitiateTimeout(fd, d.Key, n.ID, handshakeTimeout)
 	if err != nil {
 		res.Err = fmt.Errorf("rlpx: %w", err)
-		res.Duration = time.Since(res.Start)
+		res.Duration = clk.Since(res.Start)
 		return res
 	}
 	if budget > 0 {
@@ -138,7 +151,7 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 		} else {
 			res.Err = err
 		}
-		res.Duration = time.Since(res.Start)
+		res.Duration = clk.Since(res.Start)
 		return res
 	}
 	res.Hello = theirs
@@ -157,7 +170,7 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 	}
 	if ethCap == nil {
 		devp2p.SendDisconnect(conn, devp2p.DiscUselessPeer) //nolint:errcheck
-		res.Duration = time.Since(res.Start)
+		res.Duration = clk.Since(res.Start)
 		return res
 	}
 
@@ -169,7 +182,7 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 	}
 	if err := eth.SendStatus(conn, ethCap.Offset, &status); err != nil {
 		res.Err = err
-		res.Duration = time.Since(res.Start)
+		res.Duration = clk.Since(res.Start)
 		return res
 	}
 	theirStatus, err := eth.ReadStatus(conn, ethCap.Offset)
@@ -180,7 +193,7 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 		} else {
 			res.Err = err
 		}
-		res.Duration = time.Since(res.Start)
+		res.Duration = clk.Since(res.Start)
 		return res
 	}
 	res.Status = theirStatus
@@ -196,6 +209,6 @@ func (d *RealDialer) dial(n *enode.Node, kind mlog.ConnType) *DialResult {
 
 	// Done collecting: free the peer slot immediately (§4).
 	devp2p.SendDisconnect(conn, devp2p.DiscRequested) //nolint:errcheck
-	res.Duration = time.Since(res.Start)
+	res.Duration = clk.Since(res.Start)
 	return res
 }

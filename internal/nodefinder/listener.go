@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 
 	"repro/internal/crypto/secp256k1"
 	"repro/internal/devp2p"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/eth"
 	"repro/internal/nodefinder/mlog"
 	"repro/internal/rlpx"
+	"repro/internal/simclock"
 )
 
 // Listener accepts inbound RLPx connections for a Finder. NodeFinder
@@ -25,6 +25,8 @@ type Listener struct {
 	Hello  devp2p.Hello
 	Status eth.Status
 	Finder *Finder
+	// Clock supplies timestamps; nil uses the system clock.
+	Clock simclock.Clock
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -85,7 +87,11 @@ func (l *Listener) handle(fd net.Conn) {
 	if l.Finder == nil {
 		return
 	}
-	start := time.Now()
+	clk := l.Clock
+	if clk == nil {
+		clk = simclock.System{}
+	}
+	start := clk.Now()
 	res := &DialResult{Kind: mlog.ConnIncoming, Start: start}
 
 	conn, err := rlpx.Accept(fd, l.Key)
@@ -109,7 +115,7 @@ func (l *Listener) handle(fd net.Conn) {
 		} else {
 			res.Err = err
 		}
-		res.Duration = time.Since(start)
+		res.Duration = clk.Since(start)
 		l.Finder.HandleIncoming(res)
 		return
 	}
@@ -137,7 +143,7 @@ func (l *Listener) handle(fd net.Conn) {
 	// Done collecting: free the slot (the peer may keep talking; we
 	// politely disconnect instead).
 	devp2p.SendDisconnect(conn, devp2p.DiscRequested) //nolint:errcheck
-	res.Duration = time.Since(start)
+	res.Duration = clk.Since(start)
 	res.RTT = conn.SmoothedRTT()
 	l.Finder.HandleIncoming(res)
 }

@@ -104,6 +104,12 @@ func OutcomeClass(res *DialResult) string {
 			return "snappy-corrupt"
 		case errors.Is(err, devp2p.ErrUnexpectedMessage) || errors.Is(err, eth.ErrNoStatus):
 			return "protocol-violation"
+		case errors.Is(err, devp2p.ErrNoCommonProtocol):
+			return "no-common-caps"
+		case errors.Is(err, eth.ErrNetworkMismatch) || errors.Is(err, eth.ErrGenesisMismatch) || errors.Is(err, eth.ErrProtocolMismatch):
+			return "status-mismatch"
+		case errors.Is(err, rlpx.ErrBadHandshake):
+			return "rlpx-bad-handshake"
 		case strings.Contains(msg, "rlpx") && strings.Contains(msg, "timeout"):
 			return "handshake-timeout"
 		case strings.Contains(msg, "timeout"):

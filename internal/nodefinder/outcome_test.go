@@ -1,0 +1,77 @@
+package nodefinder
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/devp2p"
+	"repro/internal/eth"
+	"repro/internal/rlpx"
+	"repro/internal/snappy"
+)
+
+// TestOutcomeClassCoversTransportSentinels is the runtime twin of the
+// errtaxonomy lint contract: every exported sentinel a transport
+// package can surface must map to its own taxonomy class, not the
+// "error-other" catch-all — a sentinel landing there would silently
+// merge a distinct failure mode into the census noise bucket. The
+// sentinels are wrapped the way the dial path wraps them (fmt.Errorf
+// with %w) to prove classification survives wrapping.
+func TestOutcomeClassCoversTransportSentinels(t *testing.T) {
+	cases := []struct {
+		sentinel error
+		want     string
+	}{
+		{rlpx.ErrBadHeaderMAC, "rlpx-bad-mac"},
+		{rlpx.ErrBadFrameMAC, "rlpx-bad-mac"},
+		{rlpx.ErrFrameTooBig, "frame-oversize"},
+		{rlpx.ErrBadHandshake, "rlpx-bad-handshake"},
+		{devp2p.ErrUnexpectedMessage, "protocol-violation"},
+		{devp2p.ErrNoCommonProtocol, "no-common-caps"},
+		{devp2p.ErrMsgTooBig, "msg-oversize"},
+		{eth.ErrNetworkMismatch, "status-mismatch"},
+		{eth.ErrGenesisMismatch, "status-mismatch"},
+		{eth.ErrProtocolMismatch, "status-mismatch"},
+		{eth.ErrNoStatus, "protocol-violation"},
+		{eth.ErrMsgTooBig, "msg-oversize"},
+		{snappy.ErrCorrupt, "snappy-corrupt"},
+		{snappy.ErrTooLarge, "snappy-corrupt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.sentinel.Error(), func(t *testing.T) {
+			res := &DialResult{Err: fmt.Errorf("handshake stage: %w", tc.sentinel)}
+			got := OutcomeClass(res)
+			if got != tc.want {
+				t.Errorf("OutcomeClass(%v) = %q, want %q", tc.sentinel, got, tc.want)
+			}
+			if got == "error-other" {
+				t.Errorf("sentinel %v fell into the catch-all bucket", tc.sentinel)
+			}
+		})
+	}
+}
+
+// TestOutcomeClassNonErrorStates pins the classifier's non-error
+// outcomes so taxonomy extensions cannot reshuffle them.
+func TestOutcomeClassNonErrorStates(t *testing.T) {
+	tooMany := devp2p.DiscTooManyPeers
+	requested := devp2p.DiscRequested
+	cases := []struct {
+		name string
+		res  *DialResult
+		want string
+	}{
+		{"too-many-peers", &DialResult{Disconnect: &tooMany}, "too-many-peers"},
+		{"disconnected", &DialResult{Disconnect: &requested}, "disconnected"},
+		{"eth-handshake", &DialResult{Hello: &devp2p.Hello{}, Status: &eth.Status{}}, "eth-handshake"},
+		{"hello-no-eth", &DialResult{Hello: &devp2p.Hello{}}, "hello-no-eth"},
+		{"no-handshake", &DialResult{}, "no-handshake"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := OutcomeClass(tc.res); got != tc.want {
+				t.Errorf("OutcomeClass = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

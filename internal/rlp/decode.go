@@ -219,6 +219,45 @@ func (s *Stream) willRead(n uint64) error {
 	return nil
 }
 
+// maxPrealloc caps the upfront allocation for a wire-declared byte
+// string on an unlimited stream. A peer's header can claim any length
+// up to 2^64; allocating it before a single payload byte arrives lets
+// one lying frame exhaust memory. Above the cap the buffer grows only
+// as bytes are actually read.
+const maxPrealloc = 1 << 16
+
+// readBytesSized returns a buffer holding size payload bytes without
+// trusting the wire-declared size: limited streams have already
+// checked size against the input limit in Kind, and unlimited streams
+// preallocate at most maxPrealloc, growing chunk by chunk as data
+// really arrives.
+func (s *Stream) readBytesSized(size uint64) ([]byte, error) {
+	if s.limited || size <= maxPrealloc {
+		// On a limited stream Kind has verified size <= remainingBytes,
+		// so the allocation is bounded by the caller-chosen input limit.
+		//lint:ignore boundedalloc size was checked against the stream's input limit in Kind
+		b := make([]byte, size)
+		if err := s.readFull(b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	buf := make([]byte, 0, maxPrealloc)
+	for remaining := size; remaining > 0; {
+		n := remaining
+		if n > maxPrealloc {
+			n = maxPrealloc
+		}
+		chunk := make([]byte, n)
+		if err := s.readFull(chunk); err != nil {
+			return nil, err
+		}
+		buf = append(buf, chunk...)
+		remaining -= n
+	}
+	return buf, nil
+}
+
 // Bytes reads a byte string and returns its contents.
 func (s *Stream) Bytes() ([]byte, error) {
 	kind, size, err := s.Kind()
@@ -230,8 +269,8 @@ func (s *Stream) Bytes() ([]byte, error) {
 		s.haveHdr = false
 		return []byte{s.byteval}, nil
 	case String:
-		b := make([]byte, size)
-		if err := s.readFull(b); err != nil {
+		b, err := s.readBytesSized(size)
+		if err != nil {
 			return nil, err
 		}
 		if size == 1 && b[0] < 0x80 {
@@ -298,8 +337,8 @@ func (s *Stream) Raw() ([]byte, error) {
 		head = append(head, base+55+byte(n))
 		head = append(head, tmp[:n]...)
 	}
-	payload := make([]byte, size)
-	if err := s.readFull(payload); err != nil {
+	payload, err := s.readBytesSized(size)
+	if err != nil {
 		return nil, err
 	}
 	return append(head, payload...), nil

@@ -91,6 +91,7 @@ func newFrameRW(conn io.ReadWriter, s *secrets) *frameRW {
 		panic("rlpx: aes secret has wrong length: " + err.Error())
 	}
 	decBlock, _ := aes.NewCipher(s.aes)
+	//lint:ignore boundedalloc AES block size is a 16-byte cipher constant, not peer input
 	iv := make([]byte, encBlock.BlockSize()) // zero IV: keystream is session-unique
 	return &frameRW{
 		conn: conn,

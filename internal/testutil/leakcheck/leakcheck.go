@@ -110,8 +110,48 @@ func Check(t TB, options ...Option) {
 		if len(leaked) == 0 {
 			return
 		}
-		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+		t.Errorf("leakcheck: %s", FormatLeaks(leaked))
 	})
+}
+
+// FormatLeaks renders leaked stacks for a test failure. Stacks whose
+// creator is the runtime's timer machinery ("created by time.goFunc")
+// get an extra header naming the callback frame that is actually
+// stuck: the creation site the runtime reports for timer goroutines
+// is inside package time and points at no repo code, which makes raw
+// dumps of leaked AfterFunc callbacks nearly undebuggable.
+func FormatLeaks(leaked []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d goroutine(s) leaked:", len(leaked))
+	for _, stack := range leaked {
+		b.WriteString("\n\n")
+		if site, ok := timerCallbackSite(stack); ok {
+			fmt.Fprintf(&b, "[timer-driven goroutine; stuck callback: %s]\n", site)
+		}
+		b.WriteString(stack)
+	}
+	return b.String()
+}
+
+// timerCallbackSite extracts "func (file:line)" for the top frame of
+// a stack created by time.goFunc — the timer callback itself.
+func timerCallbackSite(stack string) (string, bool) {
+	if !strings.Contains(stack, "created by time.goFunc") {
+		return "", false
+	}
+	lines := strings.Split(stack, "\n")
+	if len(lines) < 2 {
+		return "", false
+	}
+	fn := strings.TrimSpace(lines[0])
+	if i := strings.Index(fn, "("); i > 0 {
+		fn = fn[:i]
+	}
+	loc := strings.TrimSpace(lines[1])
+	if i := strings.Index(loc, " +0x"); i > 0 {
+		loc = loc[:i]
+	}
+	return fmt.Sprintf("%s (%s)", fn, loc), true
 }
 
 // diffRetry polls the goroutine diff until it drains or the window
