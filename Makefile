@@ -39,9 +39,12 @@ build:
 
 # Repo-specific static invariants (see DESIGN.md "Static invariants"):
 # bounded wire allocations, clock discipline, taxonomy coverage, no
-# locks across conn I/O, conn Close on every path.
+# locks across conn I/O, conn Close on every path, goroutine
+# termination signals, deadlines on dialed-conn I/O, RLP wire
+# symmetry. -cache reuses the previous run when no source changed
+# (content-hashed; hit rate reported on stderr).
 lint:
-	go run ./cmd/repolint ./...
+	go run ./cmd/repolint -cache ./...
 
 vet:
 	go vet ./...

@@ -4,22 +4,40 @@
 //
 // Usage:
 //
-//	go run ./cmd/repolint ./...
+//	go run ./cmd/repolint [flags] ./...
 //
 // The package pattern argument is accepted for familiarity; the tool
 // always lints the whole module containing the working directory.
+//
+// Flags:
+//
+//	-v            print analyzer docs and progress to stderr
+//	-json         render findings as a JSON array instead of text
+//	-annotations  render findings as GitHub Actions ::error commands,
+//	              so CI surfaces them inline on the PR diff
+//	-cache        reuse the previous run's findings when no source
+//	              file changed (content-hash keyed; see internal/lint
+//	              cache.go for why reuse is all-or-nothing)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint"
 )
 
+// cacheName is the per-module cache file, kept beside go.mod and
+// ignored by git.
+const cacheName = ".repolint.cache"
+
 func main() {
 	verbose := flag.Bool("v", false, "print analyzer docs and per-analyzer finding counts")
+	jsonOut := flag.Bool("json", false, "render findings as JSON")
+	annotations := flag.Bool("annotations", false, "render findings as GitHub Actions error annotations")
+	useCache := flag.Bool("cache", false, "reuse previous findings when no source file changed")
 	flag.Parse()
 
 	root, modulePath, err := lint.ModuleRoot(".")
@@ -28,23 +46,77 @@ func main() {
 		os.Exit(2)
 	}
 	loader := lint.NewLoader(root, modulePath)
-	pkgs, err := loader.LoadAll()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		os.Exit(2)
-	}
 	analyzers := lint.RepoAnalyzers(modulePath)
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "repolint: %d packages, %d analyzers\n", len(pkgs), len(analyzers))
+		fmt.Fprintf(os.Stderr, "repolint: %d analyzers\n", len(analyzers))
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name(), a.Doc())
 		}
 	}
-	findings := lint.Run(loader, pkgs, analyzers)
-	for _, f := range findings {
-		rel := f
-		rel.Pos.Filename = loader.RelPath(f.Pos.Filename)
-		fmt.Println(rel.String())
+
+	config := lint.CacheConfig(modulePath, analyzers)
+	cachePath := filepath.Join(root, cacheName)
+
+	var findings []lint.Finding
+	cached := false
+	var digests map[string]string
+	if *useCache {
+		digests, err = lint.DigestPackages(loader)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint: cache disabled:", err)
+			digests = nil
+		} else if prev := lint.LoadCache(cachePath); prev != nil {
+			hits, total, ok := prev.Hits(config, digests)
+			if ok {
+				findings = prev.Findings
+				cached = true
+				fmt.Fprintf(os.Stderr, "repolint: cache hit: %d/%d packages unchanged, reusing previous findings\n", hits, total)
+			} else {
+				// The analyzers are interprocedural, so one changed
+				// package can move findings in unchanged ones: any miss
+				// re-analyzes the whole module.
+				fmt.Fprintf(os.Stderr, "repolint: cache miss: %d/%d packages unchanged, re-analyzing module\n", hits, total)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "repolint: cache cold, analyzing module")
+		}
+	}
+
+	if !cached {
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "repolint: %d packages loaded\n", len(pkgs))
+		}
+		findings = lint.Run(loader, pkgs, analyzers)
+		for i := range findings {
+			findings[i].Pos.Filename = loader.RelPath(findings[i].Pos.Filename)
+		}
+		if digests != nil {
+			if err := lint.SaveCache(cachePath, config, digests, findings); err != nil {
+				fmt.Fprintln(os.Stderr, "repolint: cache not saved:", err)
+			}
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	case *annotations:
+		if err := lint.WriteAnnotations(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))

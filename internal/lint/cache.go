@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The result cache makes repeat `repolint -cache` runs cheap: the
+// expensive phase is type-checking the module plus the std packages it
+// touches, so a run whose every input file is byte-identical to the
+// previous run reuses that run's findings without loading anything.
+//
+// The unit of hashing is the package (all of its non-test source
+// files), but the unit of reuse is the whole module: the dataflow
+// analyzers are interprocedural, so an edit in one package can
+// create or remove findings in packages that did not change — reusing
+// per-package findings would be unsound. A single changed package
+// therefore forces a full re-analysis; the per-package digests exist
+// to make the hit/miss decision precise and to report a hit rate that
+// tells the operator *what* invalidated the cache.
+
+// cacheVersion invalidates persisted caches when the digest or
+// finding schema changes shape.
+const cacheVersion = 1
+
+// CacheFile is one persisted lint run.
+type CacheFile struct {
+	// Version is cacheVersion at write time.
+	Version int `json:"version"`
+	// Config fingerprints the analyzer set; see CacheConfig.
+	Config string `json:"config"`
+	// Packages maps import path to the digest of its source file set.
+	Packages map[string]string `json:"packages"`
+	// Findings are the (already root-relative) findings of that run.
+	Findings []Finding `json:"findings"`
+}
+
+// CacheConfig fingerprints everything apart from source content that
+// determines the findings: the module, and which analyzers ran.
+func CacheConfig(modulePath string, analyzers []Analyzer) string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name())
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("v%d|%s|%s", cacheVersion, modulePath, strings.Join(names, ","))
+}
+
+// DigestPackages hashes every module package's source file set by
+// content. Only file bytes and names feed the digest — not mtimes —
+// so touched-but-identical files still hit.
+func DigestPackages(l *Loader) (map[string]string, error) {
+	paths, err := l.ListPackages()
+	if err != nil {
+		return nil, err
+	}
+	digests := make(map[string]string, len(paths))
+	for _, p := range paths {
+		files, err := l.SourceFiles(p)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(files)
+		h := sha256.New()
+		for _, file := range files {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", l.RelPath(file), len(data))
+			h.Write(data)
+		}
+		digests[p] = hex.EncodeToString(h.Sum(nil))
+	}
+	return digests, nil
+}
+
+// LoadCache reads a previous run's record. A missing, unreadable, or
+// schema-incompatible file is a cold cache, not an error.
+func LoadCache(path string) *CacheFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var c CacheFile
+	if err := json.Unmarshal(data, &c); err != nil || c.Version != cacheVersion {
+		return nil
+	}
+	return &c
+}
+
+// Hits compares a fresh digest map against the cached one and reports
+// how many packages are unchanged. ok is true only when every package
+// matches in both directions (no edits, no additions, no deletions)
+// and the analyzer config is identical — the only condition under
+// which reusing the cached findings is sound.
+func (c *CacheFile) Hits(config string, digests map[string]string) (hits, total int, ok bool) {
+	total = len(digests)
+	for p, d := range digests {
+		if c.Packages[p] == d {
+			hits++
+		}
+	}
+	ok = c.Config == config && hits == total && len(c.Packages) == total && total > 0
+	return hits, total, ok
+}
+
+// SaveCache persists a run. Failures are returned, not fatal: a lint
+// run that cannot write its cache is still a valid lint run.
+func SaveCache(path, config string, digests map[string]string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	c := CacheFile{Version: cacheVersion, Config: config, Packages: digests, Findings: findings}
+	data, err := json.MarshalIndent(&c, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

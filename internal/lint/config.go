@@ -1,6 +1,6 @@
 package lint
 
-// RepoAnalyzers returns the five invariant analyzers configured for
+// RepoAnalyzers returns the eight invariant analyzers configured for
 // this repository's contracts. module is the module path from go.mod
 // ("repro"); taking it as a parameter keeps the analyzers themselves
 // reusable against the golden testdata trees, which load under a
@@ -61,5 +61,41 @@ func RepoAnalyzers(module string) []Analyzer {
 		},
 		&LockNet{},
 		&ConnClose{},
+		&GoroutineLife{
+			// Packages that spawn long-lived goroutines next to the
+			// connection machinery. A loop with no shutdown signal here
+			// outlives its dial slot and leaks for the rest of an
+			// 82-day crawl.
+			Packages: []string{
+				module + "/internal/nodefinder",
+				module + "/internal/discv4",
+				module + "/internal/ethnode",
+				module + "/internal/faultnet",
+				module + "/internal/simnet",
+			},
+		},
+		&DeadlineFlow{
+			// Packages whose functions perform conn I/O reachable from a
+			// dial or accept. An unarmed read here hangs a crawler slot
+			// on the first peer that stops talking mid-handshake.
+			Packages: []string{
+				module + "/internal/rlpx",
+				module + "/internal/nodefinder",
+				module + "/internal/faultnet",
+				module + "/internal/ethnode",
+			},
+		},
+		&WireSym{
+			// Packages that define RLP wire messages. Encode without a
+			// shape-matching bounded decode corrupts the census silently:
+			// the peer answers, we mis-parse, the node vanishes from the
+			// measurement as a fake protocol error.
+			Packages: []string{
+				module + "/internal/devp2p",
+				module + "/internal/eth",
+				module + "/internal/discv4",
+			},
+			RLPPkg: module + "/internal/rlp",
+		},
 	}
 }

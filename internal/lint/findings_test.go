@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkFinding(file string, line, col int, analyzer, msg string) Finding {
+	return Finding{
+		Pos:      token.Position{Filename: file, Line: line, Column: col},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestSortFindingsDeterminism is the regression test for report
+// stability: any input permutation sorts to the same sequence, and
+// identical findings reached through different call-graph paths
+// collapse to one.
+func TestSortFindingsDeterminism(t *testing.T) {
+	base := []Finding{
+		mkFinding("b.go", 4, 1, "wallclock", "m1"),
+		mkFinding("a.go", 10, 2, "connclose", "m2"),
+		mkFinding("a.go", 10, 2, "connclose", "m2"), // duplicate path
+		mkFinding("a.go", 10, 2, "boundedalloc", "m3"),
+		mkFinding("a.go", 2, 9, "wiresym", "m4"),
+		mkFinding("a.go", 10, 1, "wiresym", "m5"),
+		mkFinding("b.go", 4, 1, "wallclock", "m0"),
+	}
+	want := []string{
+		"a.go:2:9: wiresym: m4",
+		"a.go:10:1: wiresym: m5",
+		"a.go:10:2: boundedalloc: m3",
+		"a.go:10:2: connclose: m2",
+		"b.go:4:1: wallclock: m0",
+		"b.go:4:1: wallclock: m1",
+	}
+	// Exercise several permutations, including reversed.
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{6, 5, 4, 3, 2, 1, 0},
+		{3, 6, 0, 2, 5, 1, 4},
+	}
+	for _, perm := range perms {
+		in := make([]Finding, len(perm))
+		for i, j := range perm {
+			in[i] = base[j]
+		}
+		got := SortFindings(in)
+		if len(got) != len(want) {
+			t.Fatalf("perm %v: got %d findings, want %d (dedupe failed?)", perm, len(got), len(want))
+		}
+		for i, f := range got {
+			if f.String() != want[i] {
+				t.Errorf("perm %v: position %d = %q, want %q", perm, i, f.String(), want[i])
+			}
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	fs := []Finding{mkFinding("x/y.go", 3, 7, "locknet", `mutex "mu" held`)}
+	if err := WriteJSON(&sb, fs); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("got %d entries, want 1", len(decoded))
+	}
+	e := decoded[0]
+	if e["file"] != "x/y.go" || e["line"] != float64(3) || e["col"] != float64(7) ||
+		e["analyzer"] != "locknet" || e["message"] != `mutex "mu" held` {
+		t.Errorf("unexpected entry: %#v", e)
+	}
+
+	// The empty run must be an array, not null.
+	sb.Reset()
+	if err := WriteJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("empty findings render as %q, want []", sb.String())
+	}
+}
+
+func TestWriteAnnotations(t *testing.T) {
+	var sb strings.Builder
+	fs := []Finding{
+		mkFinding("p/q.go", 12, 5, "deadlineflow", "line one\nline two, 100% sure"),
+	}
+	if err := WriteAnnotations(&sb, fs); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimRight(sb.String(), "\n")
+	want := "::error file=p/q.go,line=12,col=5,title=repolint/deadlineflow::line one%0Aline two, 100%25 sure"
+	if got != want {
+		t.Errorf("annotation:\n got %q\nwant %q", got, want)
+	}
+	if strings.Count(sb.String(), "\n") != 1 {
+		t.Errorf("annotation must be a single line, got %q", sb.String())
+	}
+}
+
+// TestCacheRoundTrip checks the digest/hit/save/load cycle: identical
+// content hits, any content change misses, and the persisted findings
+// survive the round trip.
+func TestCacheRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	writeFile := func(rel, content string) {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module cachetest\n")
+	writeFile("a/a.go", "package a\n\nfunc A() int { return 1 }\n")
+	writeFile("b/b.go", "package b\n\nfunc B() int { return 2 }\n")
+
+	l := NewLoader(root, "cachetest")
+	digests, err := DigestPackages(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digests) != 2 {
+		t.Fatalf("digested %d packages, want 2: %v", len(digests), digests)
+	}
+
+	config := "test-config"
+	cachePath := filepath.Join(root, ".repolint.cache")
+	findings := []Finding{mkFinding("a/a.go", 3, 1, "wallclock", "msg")}
+	if err := SaveCache(cachePath, config, digests, findings); err != nil {
+		t.Fatal(err)
+	}
+
+	prev := LoadCache(cachePath)
+	if prev == nil {
+		t.Fatal("cache did not load back")
+	}
+	hits, total, ok := prev.Hits(config, digests)
+	if !ok || hits != 2 || total != 2 {
+		t.Fatalf("unchanged tree: hits=%d total=%d ok=%v, want 2/2 true", hits, total, ok)
+	}
+	if len(prev.Findings) != 1 || prev.Findings[0].String() != findings[0].String() {
+		t.Fatalf("findings did not survive the round trip: %+v", prev.Findings)
+	}
+
+	// A config change alone invalidates.
+	if _, _, ok := prev.Hits("other-config", digests); ok {
+		t.Error("config change still hit")
+	}
+
+	// Touch one file's content: that package misses, the other hits,
+	// and reuse is refused.
+	writeFile("b/b.go", "package b\n\nfunc B() int { return 3 }\n")
+	l2 := NewLoader(root, "cachetest")
+	digests2, err := DigestPackages(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, total, ok = prev.Hits(config, digests2)
+	if ok || hits != 1 || total != 2 {
+		t.Fatalf("after edit: hits=%d total=%d ok=%v, want 1/2 false", hits, total, ok)
+	}
+
+	// A new package also invalidates even though every cached package
+	// still matches.
+	writeFile("b/b.go", "package b\n\nfunc B() int { return 2 }\n")
+	writeFile("c/c.go", "package c\n\nfunc C() int { return 4 }\n")
+	l3 := NewLoader(root, "cachetest")
+	digests3, err := DigestPackages(l3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := prev.Hits(config, digests3); ok {
+		t.Error("added package still hit")
+	}
+}

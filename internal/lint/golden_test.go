@@ -34,6 +34,12 @@ func testAnalyzers() []Analyzer {
 		},
 		&LockNet{},
 		&ConnClose{},
+		&GoroutineLife{Packages: []string{"lintest/goroutinelife"}},
+		&DeadlineFlow{Packages: []string{"lintest/deadlineflow"}},
+		&WireSym{
+			Packages: []string{"lintest/wiresym"},
+			RLPPkg:   "lintest/rlp",
+		},
 	}
 }
 
@@ -144,12 +150,15 @@ func TestGolden(t *testing.T) {
 	// package; the suppression machinery ("lint") must demonstrate its
 	// three malformed-directive shapes.
 	for name, minimum := range map[string]int{
-		"boundedalloc": 2,
-		"wallclock":    2,
-		"errtaxonomy":  2,
-		"locknet":      2,
-		"connclose":    2,
-		"lint":         3,
+		"boundedalloc":  2,
+		"wallclock":     2,
+		"errtaxonomy":   2,
+		"locknet":       2,
+		"connclose":     2,
+		"goroutinelife": 3,
+		"deadlineflow":  3,
+		"wiresym":       6,
+		"lint":          4,
 	} {
 		if perAnalyzer[name] < minimum {
 			t.Errorf("analyzer %s reported %d findings in the golden universe, want at least %d",

@@ -1,0 +1,51 @@
+package ir
+
+// Dominators computes the dominator sets for f's blocks with the
+// classic iterative bit-vector formulation: a block B dominates block
+// C when every path from entry to C passes through B. The result is
+// indexed by Block.Index; dom[c].Has(b) means block b dominates block
+// c. Unreachable blocks dominate nothing and are dominated by
+// everything (⊤), which analyzers should treat as "no constraint".
+func Dominators(f *Func) []*BitSet {
+	n := len(f.Blocks)
+	dom := make([]*BitSet, n)
+	for i := 0; i < n; i++ {
+		dom[i] = NewBitSet(n)
+		dom[i].Fill()
+	}
+	entry := f.Entry.Index
+	dom[entry] = NewBitSet(n)
+	dom[entry].Set(entry)
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			if b.Index == entry {
+				continue
+			}
+			next := NewBitSet(n)
+			next.Fill()
+			any := false
+			for _, p := range b.Preds {
+				next.IntersectWith(dom[p.Index])
+				any = true
+			}
+			if !any {
+				continue // unreachable: keep ⊤
+			}
+			next.Set(b.Index)
+			if !next.Equal(dom[b.Index]) {
+				dom[b.Index] = next
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+// Dominates reports whether block a dominates block b given the sets
+// from Dominators.
+func Dominates(dom []*BitSet, a, b *Block) bool {
+	return dom[b.Index].Has(a.Index)
+}

@@ -1,0 +1,138 @@
+// Package ir is the lint driver's "SSA-lite" intermediate
+// representation: a statement-granularity control-flow graph per
+// function, def-use information, dominators, a static call graph, and
+// a generic forward/backward dataflow solver — everything the
+// interprocedural analyzers (goroutinelife, deadlineflow, wiresym)
+// need, built only on go/ast and go/types because the container is
+// offline and golang.org/x/tools is unavailable.
+//
+// The IR is deliberately not full SSA: values are not renamed, and
+// expressions are not lowered. Blocks hold the original statements in
+// order, so analyzers keep working directly against syntax with
+// resolved types, and the CFG supplies what syntax alone cannot:
+// which statements can follow which, which loops exist, and which
+// definitions reach a use.
+package ir
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SourcePackage is the slice of a type-checked package the IR needs.
+// The lint loader converts its own Package values into this shape so
+// ir does not import the driver (the driver imports ir).
+type SourcePackage struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+}
+
+// Func is one analyzed function: a declaration or a function literal.
+// Literals are independent Funcs — a closure's body is never part of
+// its enclosing function's CFG.
+type Func struct {
+	Pkg  *SourcePackage
+	Name string // diagnostic name, e.g. "pkg.(*T).Method" or "pkg.func@12"
+	// Obj is the declared function object (nil for literals).
+	Obj types.Object
+	// Decl / Lit: exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block // synthetic: every return/fall-off edge targets it
+
+	// Calls are the static call sites appearing in this function's
+	// body (excluding nested literals' bodies).
+	Calls []*CallSite
+
+	// stmtBlock maps each block-resident statement to its block.
+	stmtBlock map[ast.Stmt]*Block
+}
+
+// Position renders a position within the function's file set.
+func (f *Func) Position(pos token.Pos) token.Position {
+	return f.Pkg.Fset.Position(pos)
+}
+
+// Block is one basic-ish block: a maximal run of statements with no
+// internal control transfer. Nodes hold statements in source order;
+// conditions of branches live in the block that evaluates them.
+type Block struct {
+	Index int
+	Nodes []ast.Stmt
+	Succs []*Block
+	Preds []*Block
+
+	// LoopStmt is the for/range statement whose header this block is,
+	// when the block is a loop header (nil otherwise). Analyzers use
+	// it to recognize bounded counting loops.
+	LoopStmt ast.Stmt
+
+	unreachable bool
+}
+
+// Unreachable reports whether no path from the entry reaches b.
+func (b *Block) Unreachable() bool { return b.unreachable }
+
+// CallSite is one static call expression inside a Func.
+type CallSite struct {
+	Caller *Func
+	Block  *Block
+	Call   *ast.CallExpr
+	// CalleeObj is the resolved callee object when the call target is
+	// an identifier, selector, or method expression the type checker
+	// resolved; nil for dynamic calls through function values.
+	CalleeObj types.Object
+	// Callee is the module-local Func for CalleeObj, or the literal's
+	// Func for immediately-invoked literals; nil for external or
+	// dynamic targets.
+	Callee *Func
+}
+
+// BlockOf returns the block holding stmt, or nil when stmt is not a
+// block-resident statement of f (e.g. it sits in a nested literal).
+func (f *Func) BlockOf(stmt ast.Stmt) *Block { return f.stmtBlock[stmt] }
+
+// EnclosingStmt returns the outermost block-resident statement of f
+// that contains pos, together with its block. It is how analyzers map
+// an arbitrary expression node back onto the CFG.
+func (f *Func) EnclosingStmt(pos token.Pos) (ast.Stmt, *Block) {
+	for _, b := range f.Blocks {
+		for _, s := range b.Nodes {
+			if s.Pos() <= pos && pos < s.End() {
+				return s, b
+			}
+		}
+	}
+	return nil, nil
+}
+
+// funcName builds the diagnostic name for a declaration.
+func funcName(pkg *SourcePackage, decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return pkg.Path + "." + decl.Name.Name
+	}
+	recv := "?"
+	switch t := decl.Recv.List[0].Type.(type) {
+	case *ast.Ident:
+		recv = t.Name
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			recv = "*" + id.Name
+		}
+	}
+	return fmt.Sprintf("%s.(%s).%s", pkg.Path, recv, decl.Name.Name)
+}
+
+func litName(pkg *SourcePackage, lit *ast.FuncLit) string {
+	pos := pkg.Fset.Position(lit.Pos())
+	return fmt.Sprintf("%s.func@%d", pkg.Path, pos.Line)
+}

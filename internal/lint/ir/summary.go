@@ -1,0 +1,53 @@
+package ir
+
+// SummaryCache memoizes per-function boolean facts computed by
+// interprocedural analyses ("does this function block on a
+// termination signal", "does this function arm a deadline on
+// parameter i", ...). Recursion through the call graph is broken by a
+// visiting set: a query that re-enters a function already on the
+// stack yields the analyzer-chosen cycle default, and that
+// provisional answer is NOT cached, so an eventual non-cyclic query
+// recomputes it properly.
+type SummaryCache struct {
+	vals     map[summaryKey]bool
+	visiting map[summaryKey]bool
+	depth    int
+}
+
+type summaryKey struct {
+	f    *Func
+	kind string
+}
+
+// maxSummaryDepth bounds interprocedural recursion; beyond it the
+// cycle default is returned. Sixteen frames is far deeper than any
+// real call chain in this module.
+const maxSummaryDepth = 16
+
+func NewSummaryCache() *SummaryCache {
+	return &SummaryCache{
+		vals:     make(map[summaryKey]bool),
+		visiting: make(map[summaryKey]bool),
+	}
+}
+
+// Memo returns the cached value of kind for f, computing it with
+// compute on a miss. cycleDefault is returned (uncached) when the
+// query cycles back into an in-progress computation or exceeds the
+// depth bound.
+func (c *SummaryCache) Memo(f *Func, kind string, cycleDefault bool, compute func() bool) bool {
+	key := summaryKey{f: f, kind: kind}
+	if v, ok := c.vals[key]; ok {
+		return v
+	}
+	if c.visiting[key] || c.depth >= maxSummaryDepth {
+		return cycleDefault
+	}
+	c.visiting[key] = true
+	c.depth++
+	v := compute()
+	c.depth--
+	delete(c.visiting, key)
+	c.vals[key] = v
+	return v
+}

@@ -62,17 +62,21 @@ type Analyzer interface {
 // ignorePrefix introduces a suppression comment.
 const ignorePrefix = "lint:ignore"
 
-// suppression is one parsed //lint:ignore directive.
+// suppression is one parsed //lint:ignore directive. used records
+// whether it matched at least one raw finding this run (stale
+// detection).
 type suppression struct {
 	analyzer string
 	reason   string
 	file     string
 	line     int
+	col      int
+	used     bool
 }
 
 // Run executes the analyzers over pkgs, filters findings through
-// //lint:ignore directives, appends findings for malformed
-// suppressions, and returns everything sorted by position.
+// //lint:ignore directives, appends findings for malformed or stale
+// suppressions, and returns everything sorted and deduplicated.
 func Run(l *Loader, pkgs []*Package, analyzers []Analyzer) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	var all []Finding
@@ -84,22 +88,60 @@ func Run(l *Loader, pkgs []*Package, analyzers []Analyzer) []Finding {
 	sups, bad := collectSuppressions(pkgs, known)
 	kept := all[:0]
 	for _, f := range all {
-		if !suppressed(sups, f) {
+		if !markSuppressed(sups, f) {
 			kept = append(kept, f)
 		}
 	}
 	kept = append(kept, bad...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	// A justified suppression that no longer silences anything is
+	// itself a finding: suppressions rot as analyzers and code evolve,
+	// and a stale one hides the next real bug on that line.
+	for i := range sups {
+		if !sups[i].used {
+			kept = append(kept, Finding{
+				Pos:      token.Position{Filename: sups[i].file, Line: sups[i].line, Column: sups[i].col},
+				Analyzer: "lint",
+				Message: fmt.Sprintf("suppression of %q no longer suppresses any finding; delete the stale //lint:ignore",
+					sups[i].analyzer),
+			})
+		}
+	}
+	return SortFindings(kept)
+}
+
+// SortFindings orders findings by file, line, column, analyzer, and
+// message, then drops exact duplicates. Interprocedural analyzers can
+// legitimately reach one offending statement through several
+// call-graph paths; the report should still name it once.
+func SortFindings(fs []Finding) []Finding {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return kept
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 {
+			p := fs[i-1]
+			if p.Pos.Filename == f.Pos.Filename && p.Pos.Line == f.Pos.Line &&
+				p.Pos.Column == f.Pos.Column && p.Analyzer == f.Analyzer && p.Message == f.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // collectSuppressions parses every //lint:ignore directive in pkgs.
@@ -136,7 +178,7 @@ func collectSuppressions(pkgs []*Package, known map[string]bool) ([]suppression,
 							Message: fmt.Sprintf("suppression of %q carries no reason; a justification is required", name)})
 						continue
 					}
-					sups = append(sups, suppression{analyzer: name, reason: reason, file: pos.Filename, line: pos.Line})
+					sups = append(sups, suppression{analyzer: name, reason: reason, file: pos.Filename, line: pos.Line, col: pos.Column})
 				}
 			}
 		}
@@ -144,18 +186,22 @@ func collectSuppressions(pkgs []*Package, known map[string]bool) ([]suppression,
 	return sups, bad
 }
 
-// suppressed reports whether f is covered by a directive on the same
-// line or the line directly above it.
-func suppressed(sups []suppression, f Finding) bool {
-	for _, s := range sups {
+// markSuppressed reports whether f is covered by a directive on the
+// same line or the line directly above it, marking every matching
+// directive as used.
+func markSuppressed(sups []suppression, f Finding) bool {
+	hit := false
+	for i := range sups {
+		s := &sups[i]
 		if s.analyzer != f.Analyzer || s.file != f.Pos.Filename {
 			continue
 		}
 		if s.line == f.Pos.Line || s.line == f.Pos.Line-1 {
-			return true
+			s.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // funcBodies returns every function body in the file — declarations

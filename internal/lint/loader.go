@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/ir"
 )
 
 // Package bundles everything an analyzer needs about one type-checked
@@ -49,6 +51,40 @@ type Loader struct {
 	modPkgs map[string]*Package
 	stdPkgs map[string]*types.Package
 	loading map[string]bool
+
+	irProg *ir.Program
+	irFor  []*Package
+}
+
+// Program returns the module-wide IR (CFGs + call graph) for pkgs,
+// building it on first use and sharing it between the dataflow
+// analyzers of one run.
+func (l *Loader) Program(pkgs []*Package) *ir.Program {
+	if l.irProg != nil && len(l.irFor) == len(pkgs) {
+		same := true
+		for i := range pkgs {
+			if l.irFor[i] != pkgs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return l.irProg
+		}
+	}
+	srcs := make([]*ir.SourcePackage, len(pkgs))
+	for i, p := range pkgs {
+		srcs[i] = &ir.SourcePackage{
+			Path:  p.Path,
+			Fset:  p.Fset,
+			Files: p.Files,
+			Info:  p.Info,
+			Types: p.Types,
+		}
+	}
+	l.irProg = ir.BuildProgram(srcs)
+	l.irFor = pkgs
+	return l.irProg
 }
 
 // NewLoader creates a loader for the module rooted at root. Cgo is
@@ -94,10 +130,11 @@ func ModuleRoot(dir string) (root, modulePath string, err error) {
 	}
 }
 
-// LoadAll discovers every package directory under the module root
-// (skipping testdata, hidden directories, and directories with no
-// non-test Go files) and returns them type-checked, sorted by path.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// ListPackages discovers every package import path under the module
+// root (skipping testdata, hidden directories, and directories with no
+// non-test Go files), sorted, without parsing or type-checking
+// anything — the cache layer uses it to hash file sets cheaply.
+func (l *Loader) ListPackages() ([]string, error) {
 	var paths []string
 	err := filepath.WalkDir(l.RootDir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -128,6 +165,32 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(paths)
+	return paths, nil
+}
+
+// SourceFiles returns the absolute paths of one module package's
+// non-test Go files, in build order, without parsing them.
+func (l *Loader) SourceFiles(importPath string) ([]string, error) {
+	rel := strings.TrimPrefix(importPath, l.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	dir := filepath.Join(l.RootDir, filepath.FromSlash(rel))
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	files := make([]string, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		files = append(files, filepath.Join(dir, name))
+	}
+	return files, nil
+}
+
+// LoadAll returns every module package type-checked, sorted by path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	paths, err := l.ListPackages()
+	if err != nil {
+		return nil, err
+	}
 	pkgs := make([]*Package, 0, len(paths))
 	for _, p := range paths {
 		pkg, err := l.LoadPackage(p)
@@ -182,6 +245,7 @@ func (l *Loader) LoadPackage(path string) (*Package, error) {
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.Fset, files, info)

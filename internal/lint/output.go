@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonFinding is the stable machine-readable rendering of one
+// Finding; the flat shape keeps consumers free of go/token types.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as a JSON array (always an array — an
+// empty run prints [], not null).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// WriteAnnotations renders findings as GitHub Actions workflow
+// commands, so a CI lint job surfaces each one inline on the PR diff:
+//
+//	::error file=internal/x/x.go,line=12,col=3,title=repolint/wallclock::message
+func WriteAnnotations(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=repolint/%s::%s\n",
+			escapeAnnotationProperty(f.Pos.Filename), f.Pos.Line, f.Pos.Column,
+			escapeAnnotationProperty(f.Analyzer), escapeAnnotationData(f.Message))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeAnnotationData escapes the message part of a workflow command
+// per the Actions runner's rules.
+func escapeAnnotationData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeAnnotationProperty escapes a property value, which
+// additionally cannot contain the property and command delimiters.
+func escapeAnnotationProperty(s string) string {
+	s = escapeAnnotationData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

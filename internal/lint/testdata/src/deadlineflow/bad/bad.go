@@ -1,0 +1,59 @@
+// Package bad performs conn I/O reachable from a dial with no
+// deadline armed on any path: directly, through a helper that reads
+// its parameter, and through a method reading a wrapped conn field.
+package bad
+
+import "net"
+
+// Probe dials and reads with nothing bounding the read: a peer that
+// accepts and never sends a byte pins this function forever.
+func Probe(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	buf := make([]byte, 128)
+	conn.Read(buf) // want "conn.Read on conn from Dial runs with no deadline on any path"
+}
+
+// pull reads its parameter without arming; the obligation travels to
+// every call site.
+func pull(conn net.Conn) {
+	buf := make([]byte, 64)
+	conn.Read(buf)
+}
+
+// ProbeIndirect feeds a fresh unarmed dial into pull.
+func ProbeIndirect(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	pull(conn) // want "call to .*pull \\(which reads/writes without arming\\) on conn from Dial"
+}
+
+// wire wraps the socket behind an interface field, the rlpx frameRW
+// shape.
+type wire struct {
+	fd net.Conn
+}
+
+// pump reads through the wrapped field; the obligation lands on the
+// receiver.
+func (w *wire) pump() {
+	buf := make([]byte, 32)
+	w.fd.Read(buf)
+}
+
+// RunWire builds the wrapper around an unarmed dial and pumps it.
+func RunWire(addr string) {
+	fd, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer fd.Close()
+	w := &wire{fd: fd}
+	w.pump() // want "call to .*pump \\(which reads/writes without arming\\) on conn from Dial"
+}

@@ -1,0 +1,127 @@
+// Package clean performs the same dial-then-I/O shapes as the bad
+// twin, every one bounded: direct arming, conditional (may-path)
+// arming, arming delegated to helpers, a close watchdog, and the
+// conn-wrapper pass-through exemption.
+package clean
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// Armed is the baseline: dial, arm, read.
+func Armed(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 128)
+	conn.Read(buf)
+}
+
+// ArmedConditionally uses the zero-disables idiom: some path arms, so
+// the may-path analysis stays silent.
+func ArmedConditionally(addr string, timeout time.Duration) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	buf := make([]byte, 16)
+	conn.Read(buf)
+}
+
+// armAndRead arms before reading, so it carries no obligation to its
+// callers.
+func armAndRead(conn net.Conn, d time.Duration) {
+	conn.SetReadDeadline(time.Now().Add(d))
+	buf := make([]byte, 16)
+	conn.Read(buf)
+}
+
+// Delegated hands the fresh conn to a self-arming helper.
+func Delegated(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	armAndRead(conn, time.Second)
+}
+
+// armConn only arms; callers count a call to it as arming because a
+// conn flows in.
+func armConn(conn net.Conn, d time.Duration) {
+	conn.SetDeadline(time.Now().Add(d))
+}
+
+// ArmedViaHelper arms through armConn before reading.
+func ArmedViaHelper(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	armConn(conn, time.Second)
+	buf := make([]byte, 8)
+	conn.Read(buf)
+}
+
+// Watched bounds the read with a close watchdog instead of a
+// deadline — the simclock idiom for virtually-clocked code.
+func Watched(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	t := time.AfterFunc(3*time.Second, func() { conn.Close() })
+	defer t.Stop()
+	buf := make([]byte, 64)
+	conn.Read(buf)
+}
+
+// FullRead covers the io helper entry points.
+func FullRead(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 32)
+	io.ReadFull(conn, buf)
+}
+
+// loggingConn is a pass-through wrapper: it implements net.Conn, so
+// arming the wrapper arms the wrapped socket and its Read method is
+// exempt from carrying an obligation.
+type loggingConn struct {
+	net.Conn
+	n int
+}
+
+func (c *loggingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.n += n
+	return n, err
+}
+
+// Wrapped arms the wrapper, then reads through it.
+func Wrapped(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	lc := &loggingConn{Conn: conn}
+	lc.SetDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 16)
+	lc.Read(buf)
+}

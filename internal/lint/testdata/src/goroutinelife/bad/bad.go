@@ -1,0 +1,39 @@
+// Package bad leaks goroutines: spawned loops with no exit edge and
+// no termination signal, directly and through callees, plus a spawn
+// target the analyzer cannot resolve.
+package bad
+
+// Spin spawns a literal that loops forever doing arithmetic: no
+// channel, no conn, no way out.
+func Spin() {
+	n := 0
+	go func() { // want "loops forever with no termination signal"
+		for {
+			n++
+		}
+	}()
+	_ = n
+}
+
+// SpinIndirect spawns a named function whose forever-loop hides one
+// call deeper — the interprocedural case.
+func SpinIndirect() {
+	go pump() // want "loops forever with no termination signal.*via"
+}
+
+func pump() {
+	grind()
+}
+
+func grind() {
+	total := 0
+	for {
+		total += 2
+	}
+}
+
+// SpinDynamic spawns through a slice element the analyzer cannot
+// resolve statically.
+func SpinDynamic(handlers []func()) {
+	go handlers[0]() // want "cannot be statically resolved"
+}

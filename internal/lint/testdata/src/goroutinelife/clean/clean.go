@@ -1,0 +1,86 @@
+// Package clean spawns only goroutines with provable termination
+// signals: channel receives, selects, closable-conn reads, bounded
+// loops, and std-library targets outside the module's proof scope.
+package clean
+
+import (
+	"net"
+	"sync"
+)
+
+// Receiver loops forever but blocks on a channel receive each
+// iteration: closing ch unblocks and the zero value drains through.
+func Receiver(ch chan int) {
+	total := 0
+	go func() {
+		for {
+			total += <-ch
+		}
+	}()
+}
+
+// Selector loops forever around a select: a closed done channel makes
+// the first case fire immediately.
+func Selector(done chan struct{}, in chan string) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case s := <-in:
+				_ = s
+			}
+		}
+	}()
+}
+
+// Ranger drains a channel; the loop ends when the channel closes.
+func Ranger(in chan []byte) {
+	go func() {
+		n := 0
+		for b := range in {
+			n += len(b)
+		}
+	}()
+}
+
+// ConnReader loops on a conn read: closing the conn fails the read,
+// which is the shutdown path the crawler uses for its serve loops.
+func ConnReader(conn net.Conn) {
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			conn.Read(buf)
+		}
+	}()
+}
+
+// ConnReaderIndirect reaches the closable read through a named helper.
+func ConnReaderIndirect(conn net.Conn) {
+	go drain(conn)
+}
+
+func drain(conn net.Conn) {
+	buf := make([]byte, 64)
+	for {
+		conn.Read(buf)
+	}
+}
+
+// Bounded spawns a loop with an exit edge: whether it fires is not the
+// analyzer's problem, termination-by-construction is assumed.
+func Bounded(items []int) {
+	go func() {
+		sum := 0
+		for i := 0; i < len(items); i++ {
+			sum += items[i]
+		}
+	}()
+}
+
+// StdTarget spawns a function from outside the module: nothing to
+// prove against, the spawn is skipped.
+func StdTarget(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go wg.Done()
+}

@@ -33,3 +33,12 @@ func Nameless() time.Time {
 	//lint:ignore
 	return time.Now() // want "time.Now in clocked package suppress"
 }
+
+// Stale carries a fully justified directive with nothing left to
+// silence — the clock read it once excused is gone — so the directive
+// itself is reported.
+func Stale() time.Time {
+	// wantnext "no longer suppresses any finding"
+	//lint:ignore wallclock the clock read this excused was removed
+	return time.Time{}
+}
