@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-crypto fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
+.PHONY: all build vet test race bench bench-crypto bench-crawl fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
 
 all: build vet test
 
@@ -11,7 +11,7 @@ fmt-check:
 	fi
 
 # Reproduce the full CI pipeline (.github/workflows/ci.yml) locally.
-ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos
+ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos bench-crawl
 
 # 30 seconds of coverage-guided fuzzing per untrusted-input decoder.
 # Each target also replays its committed regression corpus first.
@@ -29,10 +29,18 @@ chaos:
 	go test -race -count=1 -run='TestHostileTaxonomy|TestChaosCrawl' ./internal/faultnet
 
 # One-iteration benchmark pass: catches benchmarks that no longer
-# compile or panic, without the cost of real measurement.
+# compile or panic, without the cost of real measurement. -run='^$'
+# keeps the unit tests out of it — they have their own jobs.
 .PHONY: bench-smoke
 bench-smoke:
-	go test -bench=. -benchtime=1x ./...
+	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Crawl-at-scale gate: a deterministic-seed 100k-node world crawled to
+# census convergence. Emits BENCH_crawl.ci.json (nodes/sec, peak RSS,
+# convergence wall-clock) and fails on >60 s wall, >2 GiB RSS, or a
+# >20% nodes/sec regression against the committed BENCH_crawl.json.
+bench-crawl:
+	go run ./cmd/benchcrawl -out BENCH_crawl.ci.json -baseline BENCH_crawl.json
 
 build:
 	go build ./...
@@ -52,8 +60,10 @@ vet:
 test:
 	go test ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# surface; the seed is printed for reproduction.
 race:
-	go test -race ./...
+	go test -race -shuffle=on ./...
 
 bench:
 	go test -bench=. -benchmem ./...

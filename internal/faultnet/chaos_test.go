@@ -1,7 +1,6 @@
 package faultnet_test
 
 import (
-	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -17,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
+	"repro/internal/simnet"
 	"repro/internal/testutil/leakcheck"
 )
 
@@ -139,12 +139,14 @@ func TestHostileTaxonomy(t *testing.T) {
 }
 
 // TestChaosCrawl is the tentpole integration test: a full crawl of a
-// mixed world — 145 honest Ethereum nodes and 70 hostile peers (one
-// sixth of them per attack for each of 10 attacks, 32.6% of a
-// 215-node world) — through a fault-injecting dialer. The crawler
-// must build a complete census of the honest population, classify
-// the hostile one in its error taxonomy, and finish with zero leaked
-// goroutines and zero panics.
+// mixed world — an event-driven simnet population whose honest nodes
+// promote to live in-memory servers on dial, with ≥30% of the world
+// conscripted into faultnet's hostile peer models — through a
+// fault-injecting dialer. Idle nodes are pure state machines (no
+// goroutine, no listener); only in-flight dials own real conn
+// machinery. The crawler must build a complete census of the honest
+// eth population, classify the hostile one in its error taxonomy,
+// and finish with zero leaked goroutines and zero panics.
 func TestChaosCrawl(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos integration test")
@@ -152,58 +154,62 @@ func TestChaosCrawl(t *testing.T) {
 	leakcheck.Check(t, leakcheck.Window(20*time.Second))
 
 	const (
-		honestCount    = 145
+		baseNodes      = 220
 		hostilePerKind = 7 // × NumHostileKinds = 70 hostile, ≥30% of the world
 	)
 
-	mainnet := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "chaos-mainnet", DAOFork: true})
-	mainnet.ExtendTo(chain.DAOForkBlock + 16)
+	// The event-driven world: identities minted with real secp256k1
+	// keys so promoted servers pass the crawler's RLPx identity check.
+	// Everyone reachable with a free peer slot — the crawler is being
+	// tested, not the census made unreachable.
+	wcfg := simnet.DefaultConfig(77)
+	wcfg.BaseNodes = baseNodes
+	wcfg.AbusiveIPs = 0
+	wcfg.UnreachableFraction = 0
+	wcfg.WireFidelity = true
+	w := simnet.NewWorld(wcfg)
+	t.Cleanup(w.CloseWire)
 
-	// Honest population: real mini Ethereum nodes over loopback TCP.
-	honestIDs := make(map[enode.ID]bool, honestCount)
-	var world []*enode.Node
-	for i := 0; i < honestCount; i++ {
-		n, err := ethnode.Start(ethnode.Config{
-			Key:        testKey(t, 3000+int64(i)),
-			ClientName: fmt.Sprintf("Geth/chaos-%d/linux-amd64/go1.10", i),
-			Chain:      mainnet,
-			MaxPeers:   64,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(n.Close)
-		world = append(world, n.Self())
-		honestIDs[n.Self().ID] = true
-	}
-
-	// Hostile population: every attack kind, several servers each.
+	// Conscript every attack kind onto live nodes; the rest of the
+	// population serves honest protocol when promoted.
 	hostileAddrs := make(map[string]bool)
 	hostileKind := make(map[string]faultnet.HostileKind)
 	hostile := 0
-	for kind := faultnet.HostileKind(0); kind < faultnet.NumHostileKinds; kind++ {
-		for i := 0; i < hostilePerKind; i++ {
-			srv, err := faultnet.StartHostile(kind, testKey(t, 5000+int64(hostile)), int64(hostile))
-			if err != nil {
-				t.Fatal(err)
-			}
-			t.Cleanup(srv.Close)
-			world = append(world, srv.Node())
-			hostileAddrs[srv.Node().TCPAddr().String()] = true
-			hostileKind[srv.Node().ID.String()] = kind
+	for _, n := range w.Nodes {
+		if hostile < hostilePerKind*int(faultnet.NumHostileKinds) {
+			n.Hostile = true
+			n.HostileKind = faultnet.HostileKind(hostile % int(faultnet.NumHostileKinds))
+			hostileAddrs[n.Node.TCPAddr().String()] = true
+			hostileKind[n.Node.ID.String()] = n.HostileKind
 			hostile++
+			continue
+		}
+		n.Occupancy = 0
+	}
+
+	honestIDs := make(map[enode.ID]bool)
+	var world []*enode.Node
+	for _, n := range w.Nodes {
+		world = append(world, n.Node)
+		if !n.Hostile && n.Service == simnet.SvcEth {
+			honestIDs[n.Node.ID] = true
 		}
 	}
+	honestCount := len(honestIDs)
 	total := len(world)
 	if frac := float64(hostile) / float64(total); frac < 0.30 {
 		t.Fatalf("hostile fraction %.2f below the 30%% the test contracts", frac)
 	}
+	if honestCount < 50 {
+		t.Fatalf("only %d honest eth nodes in a %d-node world", honestCount, total)
+	}
+
+	mainnet := chain.New(chain.Config{NetworkID: 1, GenesisSeed: "chaos-mainnet", DAOFork: true, Length: 8})
 
 	// Wire faults on the crawler's own dials: benign delays toward
 	// everyone, the full destructive schedule toward hostile peers
 	// (honest conns must stay deliverable or the census cannot
-	// converge — the crawler is being tested, not the network made
-	// impossible).
+	// converge).
 	mild := &faultnet.Plan{
 		Seed:       71,
 		Weights:    map[faultnet.Kind]int{faultnet.None: 5, faultnet.Latency: 2, faultnet.SlowLoris: 1},
@@ -213,7 +219,7 @@ func TestChaosCrawl(t *testing.T) {
 	}
 	harsh := faultnet.NewPlan(72)
 	dialFunc := func(network, address string, timeout time.Duration) (net.Conn, error) {
-		fd, err := net.DialTimeout(network, address, timeout)
+		fd, err := w.DialWire(network, address, timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -242,15 +248,20 @@ func TestChaosCrawl(t *testing.T) {
 			},
 			Status:      ethnode.MainnetStatusFor(mainnet),
 			DialTimeout: 5 * time.Second,
-			Budget:      4 * time.Second,
-			DialFunc:    dialFunc,
-			Metrics:     nodefinder.NewDialerMetrics(reg),
+			// Generous budget: a timed-out honest dial costs a 5-minute
+			// backoff, far past this test's horizon. On one loaded core,
+			// 16 concurrent handshakes (client and server crypto both
+			// in-process) need the headroom; the hostile stall attacks
+			// are classified by the same budget, just slower.
+			Budget:   8 * time.Second,
+			DialFunc: dialFunc,
+			Metrics:  nodefinder.NewDialerMetrics(reg),
 		},
 		Log:             col,
 		Metrics:         reg,
 		LookupInterval:  150 * time.Millisecond,
 		StaticInterval:  time.Hour,
-		MaxDynamicDials: 32,
+		MaxDynamicDials: 16,
 		Seed:            1,
 	})
 	if err != nil {
@@ -291,6 +302,21 @@ func TestChaosCrawl(t *testing.T) {
 	// Allow a node or two lost to loopback scheduling under -race;
 	// anything more means the hostile 30% starved the honest crawl.
 	if converged < honestCount-3 {
+		seen := make(map[string][]string)
+		for _, e := range col.Entries() {
+			detail := "ok"
+			if e.Err != "" {
+				detail = e.Err
+			}
+			seen[e.NodeID] = append(seen[e.NodeID], detail)
+		}
+		for id := range honestIDs {
+			if n := w.NodeByID(id); n != nil {
+				if entries := seen[id.String()]; len(entries) == 0 || entries[len(entries)-1] != "ok" {
+					t.Logf("missing honest node %s svc=%v net=%v entries=%v", id.String()[:8], n.Service, n.Network != nil, entries)
+				}
+			}
+		}
 		t.Fatalf("census converged on %d/%d honest nodes", converged, honestCount)
 	}
 	t.Logf("census: %d/%d honest nodes, %d total entries, fault draws: dialer=%v hostile-side=%v",

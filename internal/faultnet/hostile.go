@@ -165,17 +165,29 @@ func (s *HostileServer) acceptLoop() {
 				delete(s.conns, fd)
 				s.mu.Unlock()
 			}()
-			//lint:ignore wallclock socket deadlines are absolute wall-clock instants the kernel compares against real time
-			fd.SetDeadline(time.Now().Add(hostileConnDeadline)) //nolint:errcheck
-			s.serve(fd, rand.New(rand.NewSource(seed)))
+			ServeConn(s.kind, s.key, seed, fd)
 		}()
 	}
 }
 
-// serve runs one attack. Errors are irrelevant: the victim hanging
-// up on us IS the desired outcome.
-func (s *HostileServer) serve(fd net.Conn, rng *rand.Rand) {
-	switch s.kind {
+// ServeConn mounts one hostile attack on an already-established
+// connection, then returns when the victim hangs up (or the
+// connection deadline expires). It is the per-connection core of
+// HostileServer, exported so simulated populations can project a
+// hostile node onto any net.Conn — e.g. an in-memory pipe created
+// when simnet promotes an event-driven node for one dial — and
+// produce byte-identical attacks without a TCP listener.
+//
+// Errors are irrelevant: the victim hanging up on us IS the desired
+// outcome.
+func ServeConn(kind HostileKind, key *secp256k1.PrivateKey, seed int64, fd net.Conn) {
+	//lint:ignore wallclock socket deadlines are absolute wall-clock instants the kernel compares against real time
+	fd.SetDeadline(time.Now().Add(hostileConnDeadline)) //nolint:errcheck
+	serveConn(kind, key, fd, rand.New(rand.NewSource(seed)))
+}
+
+func serveConn(kind HostileKind, key *secp256k1.PrivateKey, fd net.Conn, rng *rand.Rand) {
+	switch kind {
 	case HostileNeverAck:
 		// Drain whatever the initiator sends, answer nothing. The
 		// conn deadline (or the victim's dial budget, whichever fires
@@ -204,11 +216,11 @@ func (s *HostileServer) serve(fd net.Conn, rng *rand.Rand) {
 	// Every remaining attack first completes a genuine RLPx
 	// handshake; the victim's own key proves nothing about good
 	// faith.
-	conn, err := rlpx.AcceptTimeout(fd, s.key, 10*time.Second)
+	conn, err := rlpx.AcceptTimeout(fd, key, 10*time.Second)
 	if err != nil {
 		return
 	}
-	switch s.kind {
+	switch kind {
 	case HostileHangAfterHandshake:
 		// Say nothing; read and discard so the victim's HELLO write
 		// succeeds and it commits to waiting for ours. Keep draining
@@ -231,7 +243,7 @@ func (s *HostileServer) serve(fd net.Conn, rng *rand.Rand) {
 		conn.WriteMsg(devp2p.HelloMsg, make([]byte, 2*1024*1024)) //nolint:errcheck
 		conn.ReadMsg()                                            //nolint:errcheck
 	case HostileOversizedHello:
-		payload := validHelloPayload(s.key, devp2p.MaxHelloSize*4)
+		payload := validHelloPayload(key, devp2p.MaxHelloSize*4)
 		conn.WriteMsg(devp2p.HelloMsg, payload) //nolint:errcheck
 		conn.ReadMsg()                          //nolint:errcheck
 	case HostileBadRLPHello:
@@ -240,9 +252,9 @@ func (s *HostileServer) serve(fd net.Conn, rng *rand.Rand) {
 		conn.WriteMsg(devp2p.HelloMsg, []byte{0xBF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) //nolint:errcheck
 		conn.ReadMsg()                                                                               //nolint:errcheck
 	case HostileSnappyBomb:
-		s.serveSnappyBomb(conn)
+		serveSnappyBomb(conn, key)
 	case HostileStatusFlood:
-		s.serveStatusFlood(conn)
+		serveStatusFlood(conn, key)
 	}
 }
 
@@ -272,8 +284,8 @@ func validHelloPayload(key *secp256k1.PrivateKey, minSize int) []byte {
 // enables snappy, then sends a payload whose snappy length header
 // announces 2 GiB. The victim must reject it from the header without
 // allocating.
-func (s *HostileServer) serveSnappyBomb(conn *rlpx.Conn) {
-	theirs, err := exchangeHello(conn, s.key)
+func serveSnappyBomb(conn *rlpx.Conn, key *secp256k1.PrivateKey) {
+	theirs, err := exchangeHello(conn, key)
 	if err != nil || theirs.Version < devp2p.Version {
 		return
 	}
@@ -288,8 +300,8 @@ func (s *HostileServer) serveSnappyBomb(conn *rlpx.Conn) {
 
 // serveStatusFlood handshakes honestly, then streams STATUS messages
 // until the victim hangs up — a peer stuck in a protocol loop.
-func (s *HostileServer) serveStatusFlood(conn *rlpx.Conn) {
-	theirs, err := exchangeHello(conn, s.key)
+func serveStatusFlood(conn *rlpx.Conn, key *secp256k1.PrivateKey) {
+	theirs, err := exchangeHello(conn, key)
 	if err != nil {
 		return
 	}

@@ -1,0 +1,85 @@
+package netpipe
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestBufferedWritesDoNotBlock: both ends write before either reads —
+// the pattern that deadlocks net.Pipe.
+func TestBufferedWritesDoNotBlock(t *testing.T) {
+	leakcheck.Check(t)
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	msgA := []byte("hello-from-a")
+	msgB := []byte("hello-from-b")
+	if _, err := a.Write(msgA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(msgB); err != nil {
+		t.Fatal(err)
+	}
+	gotB := make([]byte, len(msgA))
+	if _, err := io.ReadFull(b, gotB); err != nil || !bytes.Equal(gotB, msgA) {
+		t.Fatalf("b read %q err %v", gotB, err)
+	}
+	gotA := make([]byte, len(msgB))
+	if _, err := io.ReadFull(a, gotA); err != nil || !bytes.Equal(gotA, msgB) {
+		t.Fatalf("a read %q err %v", gotA, err)
+	}
+}
+
+// TestCloseSemantics: the peer drains buffered data then sees EOF;
+// writes to a closed peer fail.
+func TestCloseSemantics(t *testing.T) {
+	leakcheck.Check(t)
+	a, b := Pair()
+	a.Write([]byte("tail")) //nolint:errcheck
+	a.Close()
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil || string(got) != "tail" {
+		t.Fatalf("drain after close: %q err %v", got, err)
+	}
+	if _, err := b.Read(got); err != io.EOF {
+		t.Fatalf("want EOF after drain, got %v", err)
+	}
+	if _, err := b.Write([]byte("x")); err != io.ErrClosedPipe {
+		t.Fatalf("write to closed peer: %v", err)
+	}
+	b.Close()
+}
+
+// TestReadDeadline: a blocked read wakes at the deadline with the
+// same "i/o timeout" a socket produces.
+func TestReadDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	a.SetReadDeadline(time.Now().Add(30 * time.Millisecond)) //nolint:errcheck
+	start := time.Now()
+	_, err := a.Read(make([]byte, 1))
+	if err != os.ErrDeadlineExceeded {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline did not fire promptly")
+	}
+	// Clearing the deadline makes reads block again; Close unblocks.
+	a.SetReadDeadline(time.Time{}) //nolint:errcheck
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Read(make([]byte, 1))
+		done <- err
+	}()
+	b.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("read after peer close: %v", err)
+	}
+}

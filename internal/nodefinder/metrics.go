@@ -34,6 +34,9 @@ type finderMetrics struct {
 	rtt          *metrics.Histogram
 	staleExpired *metrics.Counter
 	backoffSkips *metrics.Counter
+	// queueDropped counts discovered candidates rejected because their
+	// dial shard was full (bounded-queue overload shedding).
+	queueDropped *metrics.Counter
 }
 
 // newFinderMetrics resolves the Finder's instruments against r (nil
@@ -54,6 +57,7 @@ func newFinderMetrics(r *metrics.Registry, db *nodedb.DB) *finderMetrics {
 		rtt:          r.Histogram("finder.rtt_us"),
 		staleExpired: r.Counter("finder.stale_expired"),
 		backoffSkips: r.Counter("finder.backoff_suppressed"),
+		queueDropped: r.Counter("finder.queue_dropped"),
 	}
 }
 

@@ -117,6 +117,21 @@ type Config struct {
 	MaxDynamicDials int
 	StaleAfter      time.Duration
 	Seed            int64
+
+	// LookupWorkers is the number of concurrent discovery lookup
+	// chains. Each worker paces itself on LookupInterval, so the
+	// aggregate lookup rate scales with the worker count. Zero means
+	// one worker — the original single-chain crawler.
+	LookupWorkers int
+	// DialShards is the number of bounded dial queues candidates are
+	// sharded into by node ID. Zero means DefaultDialShards (one
+	// shard, the original single-queue behavior).
+	DialShards int
+	// ShardQueueCap bounds each shard's queue; candidates beyond the
+	// cap are dropped (and counted in finder.queue_dropped) rather
+	// than growing memory without bound during a discovery burst.
+	// Zero means DefaultShardQueueCap; negative disables the bound.
+	ShardQueueCap int
 }
 
 // Stats are cumulative crawler counters, the raw material for
@@ -142,18 +157,12 @@ type Finder struct {
 	mu          sync.Mutex
 	running     bool
 	stopped     bool
-	dialing     map[enode.ID]bool
-	lastDial    map[enode.ID]time.Time
 	staticTimer map[enode.ID]simclock.Timer
-	dynQueue    []*enode.Node
-	dynActive   int
 	stats       Stats
 
-	// failStreak counts consecutive failed establishment attempts per
-	// node; backoffUntil holds the jittered instant before which the
-	// node is not dynamically re-dialed. Both reset on any success.
-	failStreak   map[enode.ID]int
-	backoffUntil map[enode.ID]time.Time
+	// sched owns the sharded dial queues and all per-node admission
+	// state (in-flight set, suppression windows, backoff).
+	sched *dialScheduler
 
 	// onIdle, if set, is called (locked) whenever the dynamic queue
 	// drains; tests use it.
@@ -186,17 +195,27 @@ func New(cfg Config) (*Finder, error) {
 	if cfg.StaleAfter == 0 {
 		cfg.StaleAfter = DefaultStaleAfter
 	}
-	return &Finder{
-		cfg:          cfg,
-		clock:        cfg.Clock,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
-		metrics:      newFinderMetrics(cfg.Metrics, cfg.DB),
-		dialing:      make(map[enode.ID]bool),
-		lastDial:     make(map[enode.ID]time.Time),
-		staticTimer:  make(map[enode.ID]simclock.Timer),
-		failStreak:   make(map[enode.ID]int),
-		backoffUntil: make(map[enode.ID]time.Time),
-	}, nil
+	if cfg.LookupWorkers <= 0 {
+		cfg.LookupWorkers = 1
+	}
+	if cfg.DialShards <= 0 {
+		cfg.DialShards = DefaultDialShards
+	}
+	switch {
+	case cfg.ShardQueueCap == 0:
+		cfg.ShardQueueCap = DefaultShardQueueCap
+	case cfg.ShardQueueCap < 0:
+		cfg.ShardQueueCap = 0 // unbounded
+	}
+	f := &Finder{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		metrics:     newFinderMetrics(cfg.Metrics, cfg.DB),
+		staticTimer: make(map[enode.ID]simclock.Timer),
+	}
+	f.sched = newDialScheduler(cfg.DialShards, cfg.ShardQueueCap, cfg.MaxDynamicDials, f.rng, f.metrics, cfg.Metrics)
+	return f, nil
 }
 
 // DB exposes the node database.
@@ -221,7 +240,12 @@ func (f *Finder) Start() {
 	}
 	f.running = true
 	f.mu.Unlock()
-	f.scheduleLookup(0)
+	// Each lookup worker is an independent self-perpetuating chain:
+	// runLookup → Discovery.Lookup → onLookupDone → scheduleLookup.
+	// One worker (the default) is the original crawler cadence.
+	for i := 0; i < f.cfg.LookupWorkers; i++ {
+		f.scheduleLookup(0)
+	}
 	f.scheduleStaleSweep()
 }
 
@@ -285,14 +309,7 @@ func (f *Finder) onLookupDone(start time.Time, found []*enode.Node) {
 		if n.ID == f.cfg.Discovery.Self() {
 			continue
 		}
-		if f.dialing[n.ID] {
-			continue
-		}
-		if last, ok := f.lastDial[n.ID]; ok && now.Sub(last) < redialSuppression {
-			continue
-		}
-		if until, ok := f.backoffUntil[n.ID]; ok && now.Before(until) {
-			f.metrics.backoffSkips.Inc()
+		if !f.sched.admissibleLocked(n.ID, now) {
 			continue
 		}
 		// Static-list members are managed by the static scheduler;
@@ -302,7 +319,7 @@ func (f *Finder) onLookupDone(start time.Time, found []*enode.Node) {
 		if rec := f.cfg.DB.Get(n.ID); rec != nil && rec.Static {
 			continue
 		}
-		f.dynQueue = append(f.dynQueue, n)
+		f.sched.enqueueLocked(n)
 	}
 	launch := f.fillDynamicLocked()
 	f.mu.Unlock()
@@ -322,32 +339,13 @@ func (f *Finder) onLookupDone(start time.Time, found []*enode.Node) {
 	f.scheduleLookup(delay)
 }
 
-// fillDynamicLocked dequeues dynamic-dial candidates up to the
-// concurrency limit and returns the nodes the caller must launch
+// fillDynamicLocked asks the scheduler to dequeue candidates up to
+// the concurrency budget and returns the nodes the caller must launch
 // after releasing f.mu.
 func (f *Finder) fillDynamicLocked() []*enode.Node {
-	var launch []*enode.Node
-	for f.dynActive < f.cfg.MaxDynamicDials && len(f.dynQueue) > 0 {
-		n := f.dynQueue[0]
-		f.dynQueue = f.dynQueue[1:]
-		if f.dialing[n.ID] {
-			continue
-		}
-		now := f.clock.Now()
-		if last, ok := f.lastDial[n.ID]; ok && now.Sub(last) < redialSuppression {
-			continue
-		}
-		if until, ok := f.backoffUntil[n.ID]; ok && now.Before(until) {
-			f.metrics.backoffSkips.Inc()
-			continue
-		}
-		f.dialing[n.ID] = true
-		f.lastDial[n.ID] = now
-		f.dynActive++
-		f.stats.DynamicDials++
-		launch = append(launch, n)
-	}
-	if f.dynActive == 0 && len(f.dynQueue) == 0 && f.onIdle != nil {
+	launch := f.sched.fillLocked(f.clock.Now())
+	f.stats.DynamicDials += uint64(len(launch))
+	if f.sched.active == 0 && f.sched.queuedLocked() == 0 && f.onIdle != nil {
 		f.onIdle()
 	}
 	return launch
@@ -371,19 +369,11 @@ func (f *Finder) onDialDone(n *enode.Node, kind mlog.ConnType, res *DialResult) 
 	}
 
 	f.mu.Lock()
-	delete(f.dialing, n.ID)
-	f.lastDial[n.ID] = now
-	if kind == mlog.ConnDynamicDial {
-		f.dynActive--
-	}
+	f.sched.completeLocked(n.ID, kind == mlog.ConnDynamicDial, success, now)
 	if success {
 		f.stats.SuccessfulConns++
-		delete(f.failStreak, n.ID)
-		delete(f.backoffUntil, n.ID)
 	} else {
 		f.stats.FailedConns++
-		f.failStreak[n.ID]++
-		f.backoffUntil[n.ID] = now.Add(f.backoffDelayLocked(f.failStreak[n.ID]))
 	}
 	if f.stopped {
 		f.mu.Unlock()
@@ -404,22 +394,6 @@ func (f *Finder) onDialDone(n *enode.Node, kind mlog.ConnType, res *DialResult) 
 	for _, next := range launch {
 		f.dial(next, mlog.ConnDynamicDial)
 	}
-}
-
-// backoffDelayLocked computes the jittered suppression window after
-// the streak-th consecutive failure: redialSuppression doubled per
-// failure beyond the first, capped at maxDialBackoff, with ±20%
-// jitter so retries against a failing population do not synchronize.
-// Caller holds f.mu (for f.rng).
-func (f *Finder) backoffDelayLocked(streak int) time.Duration {
-	d := redialSuppression
-	for i := 1; i < streak && d < maxDialBackoff; i++ {
-		d *= 2
-	}
-	if d > maxDialBackoff {
-		d = maxDialBackoff
-	}
-	return time.Duration(float64(d) * (0.8 + 0.4*f.rng.Float64()))
 }
 
 // armStaticTimerLocked (re)schedules a static re-dial. Caller holds
@@ -447,13 +421,13 @@ func (f *Finder) runStaticDial(n *enode.Node) {
 		f.mu.Unlock()
 		return
 	}
-	if f.dialing[n.ID] {
+	if f.sched.dialing[n.ID] {
 		// Already being dialed; re-arm rather than double-dial.
 		f.armStaticTimerLocked(n, f.cfg.StaticInterval)
 		f.mu.Unlock()
 		return
 	}
-	f.dialing[n.ID] = true
+	f.sched.beginStaticLocked(n.ID, f.clock.Now())
 	f.stats.StaticDials++
 	f.mu.Unlock()
 	f.dial(n, mlog.ConnStaticDial)
@@ -481,12 +455,7 @@ func (f *Finder) scheduleStaleSweep() {
 // grow the failure maps without bound.
 func (f *Finder) pruneBackoff(now time.Time) {
 	f.mu.Lock()
-	for id, until := range f.backoffUntil {
-		if now.Sub(until) > maxDialBackoff {
-			delete(f.backoffUntil, id)
-			delete(f.failStreak, id)
-		}
-	}
+	f.sched.pruneLocked(now)
 	f.mu.Unlock()
 }
 

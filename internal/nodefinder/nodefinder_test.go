@@ -166,7 +166,7 @@ func TestConcurrencyLimit(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		clock.Advance(time.Second)
 		f.mu.Lock()
-		active := f.dynActive
+		active := f.sched.active
 		f.mu.Unlock()
 		if active > DefaultMaxDynamicDials {
 			t.Fatalf("active dials %d > %d", active, DefaultMaxDynamicDials)

@@ -1,0 +1,210 @@
+package nodefinder
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/enode"
+	"repro/internal/metrics"
+)
+
+// dialScheduler is the central admission point of the sharded crawl
+// pipeline. Discovery workers feed candidates into per-shard bounded
+// queues (sharded by node ID, so one hot shard cannot starve the
+// rest and queue memory is capped); a single scheduler dequeues
+// round-robin across shards, enforcing the global concurrent-dial
+// budget, the redial-suppression window, and the per-node exponential
+// backoff — semantics identical to the pre-sharding Finder.
+//
+// The scheduler is not itself goroutine-safe: every method requires
+// the Finder's lock (the *Locked suffix convention), which keeps the
+// admission decisions serializable and the crawl deterministic under
+// the simulated clock.
+type dialScheduler struct {
+	shards   []dialShard
+	rr       int // round-robin cursor over shards
+	queueCap int
+
+	maxActive int
+	active    int // in-flight dynamic dials
+
+	// Per-node admission state, shared by the dynamic and static dial
+	// paths.
+	dialing  map[enode.ID]bool
+	lastDial map[enode.ID]time.Time
+
+	// failStreak counts consecutive failed establishment attempts per
+	// node; backoffUntil holds the jittered instant before which the
+	// node is not dynamically re-dialed. Both reset on any success.
+	failStreak   map[enode.ID]int
+	backoffUntil map[enode.ID]time.Time
+
+	rng *rand.Rand
+	m   *finderMetrics
+}
+
+// dialShard is one bounded FIFO of dial candidates. depth mirrors
+// len(queue) as an atomic gauge so monitoring reads never touch the
+// slice itself (which is guarded by the Finder's lock).
+type dialShard struct {
+	queue []*enode.Node
+	depth *metrics.Gauge
+}
+
+// Sharded-pipeline defaults. One shard with an effectively unbounded
+// queue reproduces the original single-queue Finder exactly; large
+// worlds raise both via Config.
+const (
+	DefaultDialShards    = 1
+	DefaultShardQueueCap = 4096
+)
+
+func newDialScheduler(shards, queueCap, maxActive int, rng *rand.Rand, m *finderMetrics, r *metrics.Registry) *dialScheduler {
+	s := &dialScheduler{
+		shards:       make([]dialShard, shards),
+		queueCap:     queueCap,
+		maxActive:    maxActive,
+		dialing:      make(map[enode.ID]bool),
+		lastDial:     make(map[enode.ID]time.Time),
+		failStreak:   make(map[enode.ID]int),
+		backoffUntil: make(map[enode.ID]time.Time),
+		rng:          rng,
+		m:            m,
+	}
+	for i := range s.shards {
+		s.shards[i].depth = r.Gauge(fmt.Sprintf("finder.shard_depth{shard-%d}", i))
+	}
+	return s
+}
+
+// shardFor maps a node ID onto its queue. The first ID byte is
+// uniformly distributed (IDs are hashes/public keys), so shards load
+// evenly without extra hashing.
+func (s *dialScheduler) shardFor(id enode.ID) *dialShard {
+	return &s.shards[int(id[0])%len(s.shards)]
+}
+
+// admissibleLocked applies the per-node gates every dynamic dial must
+// pass, in the original Finder's order: not already dialing, outside
+// the redial-suppression window, outside the backoff window.
+func (s *dialScheduler) admissibleLocked(id enode.ID, now time.Time) bool {
+	if s.dialing[id] {
+		return false
+	}
+	if last, ok := s.lastDial[id]; ok && now.Sub(last) < redialSuppression {
+		return false
+	}
+	if until, ok := s.backoffUntil[id]; ok && now.Before(until) {
+		s.m.backoffSkips.Inc()
+		return false
+	}
+	return true
+}
+
+// enqueueLocked admits one discovered candidate into its shard queue.
+// A full shard drops the candidate (and counts the drop): discovery
+// keeps returning live nodes, so dropping is strictly cheaper than
+// letting queues grow without bound during a population burst.
+func (s *dialScheduler) enqueueLocked(n *enode.Node) bool {
+	sh := s.shardFor(n.ID)
+	if s.queueCap > 0 && len(sh.queue) >= s.queueCap {
+		s.m.queueDropped.Inc()
+		return false
+	}
+	sh.queue = append(sh.queue, n)
+	sh.depth.Set(int64(len(sh.queue)))
+	return true
+}
+
+// queuedLocked reports the total number of queued candidates.
+func (s *dialScheduler) queuedLocked() int {
+	total := 0
+	for i := range s.shards {
+		total += len(s.shards[i].queue)
+	}
+	return total
+}
+
+// fillLocked dequeues candidates round-robin across shards up to the
+// concurrency budget, marks them in-flight, and returns the nodes the
+// caller must launch after releasing the lock.
+func (s *dialScheduler) fillLocked(now time.Time) []*enode.Node {
+	var launch []*enode.Node
+	empty := 0
+	for s.active < s.maxActive && empty < len(s.shards) {
+		sh := &s.shards[s.rr%len(s.shards)]
+		s.rr++
+		if len(sh.queue) == 0 {
+			empty++
+			continue
+		}
+		empty = 0
+		n := sh.queue[0]
+		sh.queue = sh.queue[1:]
+		sh.depth.Set(int64(len(sh.queue)))
+		if !s.admissibleLocked(n.ID, now) {
+			continue
+		}
+		s.dialing[n.ID] = true
+		s.lastDial[n.ID] = now
+		s.active++
+		launch = append(launch, n)
+	}
+	return launch
+}
+
+// beginStaticLocked marks a static dial in flight. Static dials are
+// paced by their own 30-minute timers, not the dynamic budget, so
+// they bypass the queues; the shared dialing map still prevents a
+// dynamic/static double-dial.
+func (s *dialScheduler) beginStaticLocked(id enode.ID, now time.Time) {
+	s.dialing[id] = true
+	s.lastDial[id] = now
+}
+
+// completeLocked records a finished outbound attempt and updates the
+// backoff state: success resets the streak, failure doubles the
+// suppression window (jittered, capped).
+func (s *dialScheduler) completeLocked(id enode.ID, dynamic, success bool, now time.Time) {
+	delete(s.dialing, id)
+	s.lastDial[id] = now
+	if dynamic {
+		s.active--
+	}
+	if success {
+		delete(s.failStreak, id)
+		delete(s.backoffUntil, id)
+	} else {
+		s.failStreak[id]++
+		s.backoffUntil[id] = now.Add(s.backoffDelayLocked(s.failStreak[id]))
+	}
+}
+
+// backoffDelayLocked computes the jittered suppression window after
+// the streak-th consecutive failure: redialSuppression doubled per
+// failure beyond the first, capped at maxDialBackoff, with ±20%
+// jitter so retries against a failing population do not synchronize.
+func (s *dialScheduler) backoffDelayLocked(streak int) time.Duration {
+	d := redialSuppression
+	for i := 1; i < streak && d < maxDialBackoff; i++ {
+		d *= 2
+	}
+	if d > maxDialBackoff {
+		d = maxDialBackoff
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*s.rng.Float64()))
+}
+
+// pruneLocked drops backoff state for nodes whose window has been
+// over for a full maxDialBackoff — long-quiet addresses the crawler
+// may never hear about again — so §5.4-style identity spam cannot
+// grow the failure maps without bound.
+func (s *dialScheduler) pruneLocked(now time.Time) {
+	for id, until := range s.backoffUntil {
+		if now.Sub(until) > maxDialBackoff {
+			delete(s.backoffUntil, id)
+			delete(s.failStreak, id)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package nodefinder
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/enode"
+	"repro/internal/metrics"
+	"repro/internal/nodedb"
+	"repro/internal/simclock"
+)
+
+func testScheduler(shards, queueCap, maxActive int, reg *metrics.Registry) *dialScheduler {
+	if reg == nil {
+		reg = metrics.New()
+	}
+	return newDialScheduler(shards, queueCap, maxActive,
+		rand.New(rand.NewSource(1)), newFinderMetrics(reg, nodedb.New()), reg)
+}
+
+func nodeWithFirstByte(b byte, i int) *enode.Node {
+	var id enode.ID
+	id[0] = b
+	id[1] = byte(i >> 8)
+	id[2] = byte(i)
+	id[31] = 0xAA
+	return enode.New(id, net.IP{127, 0, 0, 1}, uint16(30000+i%1000), uint16(30000+i%1000))
+}
+
+// TestShardQueueBounded is the bounded-memory property: no shard's
+// queue ever exceeds the cap no matter how many candidates discovery
+// bursts in, and every rejected candidate is counted.
+func TestShardQueueBounded(t *testing.T) {
+	const (
+		shards   = 4
+		queueCap = 8
+		burst    = 500
+	)
+	reg := metrics.New()
+	s := testScheduler(shards, queueCap, 16, reg)
+
+	admitted := 0
+	for i := 0; i < burst; i++ {
+		if s.enqueueLocked(nodeWithFirstByte(byte(i), i)) {
+			admitted++
+		}
+		for j := range s.shards {
+			if depth := len(s.shards[j].queue); depth > queueCap {
+				t.Fatalf("shard %d depth %d exceeds cap %d", j, depth, queueCap)
+			}
+		}
+	}
+	if want := shards * queueCap; admitted != want {
+		t.Fatalf("admitted %d candidates, want exactly %d (shards×cap)", admitted, want)
+	}
+	if got := reg.Snapshot().Counter("finder.queue_dropped"); got != uint64(burst-admitted) {
+		t.Fatalf("queue_dropped %d, want %d", got, burst-admitted)
+	}
+	if got := s.queuedLocked(); got != admitted {
+		t.Fatalf("queuedLocked %d, want %d", got, admitted)
+	}
+
+	// Unbounded mode (cap<=0) admits everything.
+	u := testScheduler(1, 0, 16, nil)
+	for i := 0; i < burst; i++ {
+		if !u.enqueueLocked(nodeWithFirstByte(0, i)) {
+			t.Fatal("unbounded queue rejected a candidate")
+		}
+	}
+}
+
+// TestFillRespectsBudget: fillLocked never exceeds the concurrency
+// budget, marks launched nodes in-flight, and drains round-robin
+// across shards rather than exhausting one first.
+func TestFillRespectsBudget(t *testing.T) {
+	s := testScheduler(4, 0, 6, nil)
+	now := time.Unix(0, 0)
+	for i := 0; i < 40; i++ {
+		s.enqueueLocked(nodeWithFirstByte(byte(i%4), i))
+	}
+
+	launch := s.fillLocked(now)
+	if len(launch) != 6 || s.active != 6 {
+		t.Fatalf("launched %d active=%d, want budget 6", len(launch), s.active)
+	}
+	// Round-robin: the first budget's worth comes from distinct shards
+	// in rotation, not one shard drained first.
+	shardsSeen := map[byte]int{}
+	for _, n := range launch {
+		shardsSeen[n.ID[0]%4]++
+	}
+	if len(shardsSeen) != 4 {
+		t.Fatalf("first fill drew from %d shards, want all 4: %v", len(shardsSeen), shardsSeen)
+	}
+	for _, n := range launch {
+		if !s.dialing[n.ID] {
+			t.Fatalf("launched node %x not marked dialing", n.ID[:4])
+		}
+	}
+	// Nothing more launches until a slot frees.
+	if extra := s.fillLocked(now); len(extra) != 0 {
+		t.Fatalf("over-budget launch of %d", len(extra))
+	}
+	s.completeLocked(launch[0].ID, true, true, now)
+	if refill := s.fillLocked(now); len(refill) != 1 {
+		t.Fatalf("freed one slot, refilled %d", len(refill))
+	}
+}
+
+// TestSchedulerAdmission pins the per-node gates in the original
+// Finder's order: in-flight, redial suppression, backoff.
+func TestSchedulerAdmission(t *testing.T) {
+	s := testScheduler(1, 0, 16, nil)
+	now := time.Unix(1000, 0)
+	id := nodeWithFirstByte(1, 1).ID
+
+	if !s.admissibleLocked(id, now) {
+		t.Fatal("fresh node not admissible")
+	}
+	s.dialing[id] = true
+	if s.admissibleLocked(id, now) {
+		t.Fatal("in-flight node admissible")
+	}
+	delete(s.dialing, id)
+
+	// A successful dial suppresses redial for redialSuppression.
+	s.completeLocked(id, true, true, now)
+	s.active++ // completeLocked decremented past the test's synthetic zero
+	if s.admissibleLocked(id, now.Add(redialSuppression-time.Second)) {
+		t.Fatal("admissible inside the suppression window")
+	}
+	if !s.admissibleLocked(id, now.Add(redialSuppression+time.Second)) {
+		t.Fatal("not admissible after the suppression window")
+	}
+
+	// A failure adds backoff on top: at minimum 0.8×redialSuppression,
+	// so just past suppression the node is still gated.
+	s.completeLocked(id, true, false, now)
+	if s.admissibleLocked(id, now.Add(redialSuppression+time.Second)) {
+		t.Fatal("failed node admissible before backoff expires")
+	}
+	if !s.admissibleLocked(id, now.Add(3*redialSuppression)) {
+		t.Fatal("failed node still gated after backoff expired")
+	}
+}
+
+// TestBackoffDelayTable pins the backoff policy to the pre-refactor
+// Finder's exact shape: redialSuppression doubled per consecutive
+// failure, capped at maxDialBackoff, with ±20% jitter.
+func TestBackoffDelayTable(t *testing.T) {
+	cases := []struct {
+		streak int
+		base   time.Duration
+	}{
+		{1, redialSuppression},
+		{2, 2 * redialSuppression},
+		{3, 4 * redialSuppression},
+		{4, 8 * redialSuppression},
+		{5, 16 * redialSuppression},
+		{6, maxDialBackoff},  // 160m caps to 120m
+		{7, maxDialBackoff},  // stays capped
+		{20, maxDialBackoff}, // deep streaks cannot overflow
+	}
+	s := testScheduler(1, 0, 16, nil)
+	for _, tc := range cases {
+		for trial := 0; trial < 200; trial++ {
+			d := s.backoffDelayLocked(tc.streak)
+			lo := time.Duration(0.8 * float64(tc.base))
+			hi := time.Duration(1.2 * float64(tc.base))
+			if d < lo || d > hi {
+				t.Fatalf("streak %d: delay %v outside [%v, %v]", tc.streak, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffPrune: state for long-expired nodes is dropped, live
+// backoff state is kept — the spam-identity memory bound.
+func TestBackoffPrune(t *testing.T) {
+	s := testScheduler(1, 0, 16, nil)
+	now := time.Unix(0, 0).Add(10 * maxDialBackoff)
+	stale := nodeWithFirstByte(1, 1).ID
+	live := nodeWithFirstByte(2, 2).ID
+	s.failStreak[stale], s.backoffUntil[stale] = 3, now.Add(-maxDialBackoff-time.Minute)
+	s.failStreak[live], s.backoffUntil[live] = 3, now.Add(-time.Minute)
+
+	s.pruneLocked(now)
+	if _, ok := s.backoffUntil[stale]; ok {
+		t.Fatal("stale backoff state survived prune")
+	}
+	if _, ok := s.backoffUntil[live]; !ok {
+		t.Fatal("live backoff state pruned")
+	}
+}
+
+// TestShardedFinderDeterministic: the full Finder over the sharded
+// pipeline (multiple shards AND multiple lookup workers) is still a
+// pure function of its seed under the simulated clock.
+func TestShardedFinderDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		clk := simclock.NewSimulated(t0)
+		w := newFakeWorld(clk, 200)
+		f, err := New(Config{
+			Clock:         clk,
+			Discovery:     w,
+			Dialer:        w,
+			Seed:          7,
+			LookupWorkers: 3,
+			DialShards:    4,
+			ShardQueueCap: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Start()
+		clk.Advance(2 * time.Hour)
+		f.Stop()
+		st := f.Stats()
+		return st.DynamicDials, st.SuccessfulConns
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("sharded crawl not deterministic: (%d,%d) vs (%d,%d)", d1, s1, d2, s2)
+	}
+	if d1 == 0 || s1 == 0 {
+		t.Fatalf("sharded crawl did nothing: dials=%d successes=%d", d1, s1)
+	}
+}

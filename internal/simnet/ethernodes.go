@@ -67,7 +67,7 @@ func (w *World) Ethernodes(cfg EthernodesConfig, from time.Time) *EthernodesSnap
 			cov = cfg.UnreachableCoverage
 		}
 		// Per-node deterministic coin.
-		coin := rand.New(rand.NewSource(cfg.Seed ^ n.onlineSeed)).Float64()
+		coin := rand.New(rand.NewSource(cfg.Seed ^ int64(n.life.seed))).Float64()
 		if coin >= cov {
 			continue
 		}

@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// lifecycle is a node's online/offline churn as an event-driven state
+// machine: the complete on/off history is a pure function of an
+// 8-byte PRNG seed, materialized one session window at a time. An
+// idle node therefore costs three timestamps and two words of PRNG
+// state — no goroutine, no timer, no cached transition slice — which
+// is what lets a World hold 10^5–10^6 nodes. Queries at
+// non-decreasing times (the common case: every caller asks about
+// "now") advance the window in O(1) amortized; a query before the
+// current window replays deterministically from the seed.
+type lifecycle struct {
+	mu sync.Mutex
+	// seed is the immutable stream identity; rng is the current
+	// splitmix64 state, always reproducible by replaying from seed.
+	seed uint64
+	rng  uint64
+	// The current window [winStart, winEnd) and its state. winEnd is
+	// the next transition instant.
+	winStart time.Time
+	winEnd   time.Time
+	online   bool
+	started  bool
+}
+
+// splitmix64 is the SplitMix64 step function: tiny, fast, and
+// statistically solid for schedule jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d4a9c4b16e5f3d
+	return z ^ (z >> 31)
+}
+
+// nextFloat draws a uniform in [0,1) and advances the stream.
+func (l *lifecycle) nextFloat() float64 {
+	l.rng = splitmix64(l.rng)
+	return float64(l.rng>>11) / (1 << 53)
+}
+
+// nextExp draws a unit-mean exponential and advances the stream.
+func (l *lifecycle) nextExp() float64 {
+	u := l.nextFloat()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// reset rewinds the stream to the first window starting at born.
+func (l *lifecycle) reset(n *SimNode) {
+	l.rng = l.seed
+	l.winStart = n.Born
+	l.online = true
+	l.started = true
+	l.winEnd = l.winStart.Add(l.span(n))
+}
+
+// span draws the current window's duration from the node's churn
+// parameters: exponential-ish sessions with a floor, exactly the
+// shape the schedule-replay implementation produced.
+func (l *lifecycle) span(n *SimNode) time.Duration {
+	mean := n.SessionMean
+	if !l.online {
+		mean = n.OfflineMean
+	}
+	d := time.Duration(float64(mean) * (0.2 + l.nextExp()))
+	if d <= 0 {
+		d = time.Second
+	}
+	return d
+}
+
+// onlineAt reports the node's state at t, stepping the window machine
+// forward (or replaying from the seed for a historical query).
+func (l *lifecycle) onlineAt(n *SimNode, t time.Time) bool {
+	if t.Before(n.Born) || t.After(n.Died) {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.started || t.Before(l.winStart) {
+		l.reset(n)
+	}
+	for !t.Before(l.winEnd) {
+		l.winStart = l.winEnd
+		l.online = !l.online
+		l.winEnd = l.winStart.Add(l.span(n))
+	}
+	return l.online
+}
+
+// nextTransition returns the first state-change instant at or after
+// t: the moment an offline node comes back (or an online one leaves).
+// The event-driven population uses it to schedule wake-ups instead of
+// polling.
+func (l *lifecycle) nextTransition(n *SimNode, t time.Time) time.Time {
+	if t.Before(n.Born) {
+		return n.Born
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.started || t.Before(l.winStart) {
+		l.reset(n)
+	}
+	for !t.Before(l.winEnd) {
+		l.winStart = l.winEnd
+		l.online = !l.online
+		l.winEnd = l.winStart.Add(l.span(n))
+	}
+	return l.winEnd
+}

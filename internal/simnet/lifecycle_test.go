@@ -1,0 +1,124 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+func lifecycleNode(seed uint64) *SimNode {
+	start := time.Date(2018, 4, 18, 0, 0, 0, 0, time.UTC)
+	return &SimNode{
+		Born:        start,
+		Died:        start.Add(100 * 24 * time.Hour),
+		SessionMean: 6 * time.Hour,
+		OfflineMean: 2 * time.Hour,
+		life:        lifecycle{seed: seed},
+	}
+}
+
+// TestLifecycleDeterministic pins the core contract: the on/off
+// history is a pure function of the seed, regardless of query order.
+func TestLifecycleDeterministic(t *testing.T) {
+	leakcheck.Check(t)
+	a := lifecycleNode(42)
+	b := lifecycleNode(42)
+
+	// Query a forward in coarse steps, b in fine steps; every shared
+	// instant must agree.
+	for h := 0; h < 500; h++ {
+		at := a.Born.Add(time.Duration(h) * time.Hour)
+		got := a.OnlineAt(at)
+		for m := 0; m < 60; m += 7 {
+			b.OnlineAt(a.Born.Add(time.Duration(h)*time.Hour - time.Duration(m)*time.Minute))
+		}
+		if b.OnlineAt(at) != got {
+			t.Fatalf("hour %d: fine-stepped query disagrees with coarse", h)
+		}
+	}
+}
+
+// TestLifecycleBackwardQuery exercises the replay path: a query
+// before the current window must return the same answer the monotone
+// walk produced.
+func TestLifecycleBackwardQuery(t *testing.T) {
+	leakcheck.Check(t)
+	n := lifecycleNode(7)
+	var forward []bool
+	times := make([]time.Time, 0, 200)
+	for h := 0; h < 200; h++ {
+		at := n.Born.Add(time.Duration(h) * time.Hour)
+		times = append(times, at)
+		forward = append(forward, n.OnlineAt(at))
+	}
+	// Replay in reverse: every query now lands before the machine's
+	// current window and forces a deterministic reset.
+	for i := len(times) - 1; i >= 0; i-- {
+		if n.OnlineAt(times[i]) != forward[i] {
+			t.Fatalf("backward query at hour %d disagrees with forward walk", i)
+		}
+	}
+}
+
+// TestLifecycleBounds: dead or unborn nodes are offline, and the very
+// first window starts online at Born (the invariant the incoming
+// generator and dialer both rely on).
+func TestLifecycleBounds(t *testing.T) {
+	leakcheck.Check(t)
+	n := lifecycleNode(3)
+	if n.OnlineAt(n.Born.Add(-time.Minute)) {
+		t.Error("online before Born")
+	}
+	if n.OnlineAt(n.Died.Add(time.Minute)) {
+		t.Error("online after Died")
+	}
+	if !n.OnlineAt(n.Born) {
+		t.Error("not online at Born")
+	}
+}
+
+// TestLifecycleTransitions: NextTransitionAfter returns a strictly
+// advancing sequence of instants at which the state actually flips.
+func TestLifecycleTransitions(t *testing.T) {
+	leakcheck.Check(t)
+	n := lifecycleNode(11)
+	cur := n.Born
+	prevState := n.OnlineAt(cur)
+	for i := 0; i < 64; i++ {
+		next := n.NextTransitionAfter(cur)
+		if !next.After(cur) {
+			t.Fatalf("transition %d not after query point", i)
+		}
+		if next.After(n.Died) {
+			break
+		}
+		state := n.OnlineAt(next)
+		if state == prevState {
+			t.Fatalf("transition %d did not flip state", i)
+		}
+		cur, prevState = next, state
+	}
+}
+
+// TestLifecycleChurnShape: long-run online fraction should reflect
+// the session/offline mix (6h on / 2h off with the 0.2 floor → ≈75%
+// online), so the population-level churn statistics survive the
+// schedule-replay removal.
+func TestLifecycleChurnShape(t *testing.T) {
+	leakcheck.Check(t)
+	online, total := 0, 0
+	for seed := uint64(0); seed < 64; seed++ {
+		n := lifecycleNode(seed*2654435761 + 1)
+		for h := 0; h < 24*30; h++ {
+			total++
+			if n.OnlineAt(n.Born.Add(time.Duration(h) * time.Hour)) {
+				online++
+			}
+		}
+	}
+	frac := float64(online) / float64(total)
+	if frac < 0.6 || frac > 0.9 {
+		t.Errorf("online fraction %.3f, want ≈0.75", frac)
+	}
+}

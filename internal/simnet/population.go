@@ -19,15 +19,15 @@ import (
 	"math"
 	"math/rand"
 	"net"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/chain"
 	"repro/internal/crypto/keccak"
+	"repro/internal/crypto/secp256k1"
 	"repro/internal/enode"
 	"repro/internal/faultnet"
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/simclock"
 )
 
@@ -142,14 +142,10 @@ type SimNode struct {
 	// Churn: the node alternates online/offline sessions.
 	SessionMean time.Duration
 	OfflineMean time.Duration
-	// onlineSeed makes the on/off schedule a pure function of time.
-	onlineSeed int64
-	// schedule caches the on/off transition times derived from
-	// onlineSeed; OnlineAt binary-searches it. Guarded by schedMu
-	// because dialers and generators query concurrently-ish.
-	schedMu       sync.Mutex
-	schedule      []time.Time // transition instants; state flips at each
-	schedComplete bool        // schedule covers the node's whole lifetime
+	// life is the event-driven on/off state machine; the whole
+	// schedule is a pure function of its seed, materialized one
+	// window at a time (see lifecycle.go).
+	life lifecycle
 
 	// Version lifecycle.
 	UpgradeLagDays float64 // mean days behind a release this node upgrades
@@ -172,6 +168,11 @@ type SimNode struct {
 	// honest protocol. HostileKind is meaningful only when Hostile.
 	Hostile     bool
 	HostileKind faultnet.HostileKind
+
+	// key is the node's real secp256k1 identity (WireFidelity worlds
+	// only; nil in analytic worlds). PubkeyID(key.Pub) == Node.ID, so
+	// a promoted server passes the crawler's RLPx identity check.
+	key *secp256k1.PrivateKey
 
 	// Abusive marks §5.4 spam identities.
 	Abusive bool
@@ -214,6 +215,16 @@ type WorldConfig struct {
 	// wire-hostile (faultnet's hostile peer models). Zero keeps the
 	// world uniformly well-behaved, the pre-faultnet default.
 	HostileFraction float64
+	// WireFidelity mints real cryptographic identities (secp256k1
+	// keys whose public key IS the node ID), so a dial can promote
+	// the target from its analytic state machine to a live server on
+	// an in-memory connection and run the genuine RLPx/DEVp2p/eth
+	// handshake chain (see wire.go). Off by default: analytic worlds
+	// need no keys and no promotion machinery.
+	WireFidelity bool
+	// Metrics, when non-nil, receives promotion-lifecycle telemetry
+	// (simnet.promotions, simnet.demotions, simnet.promoted_active).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig is a laptop-scale world preserving the paper's
@@ -249,8 +260,15 @@ type World struct {
 
 	// Nodes is the full identity census, including churned-out and
 	// abusive identities (ground truth for validation).
-	Nodes []*SimNode
-	byID  map[enode.ID]*SimNode
+	Nodes  []*SimNode
+	byID   map[enode.ID]*SimNode
+	byAddr map[string]*SimNode // TCP address → node, for wire dials
+
+	// wire is the promotion machinery (WireFidelity worlds only).
+	wire *wireState
+	// keyRng is a dedicated stream for identity keys so WireFidelity
+	// does not perturb the population draws.
+	keyRng *rand.Rand
 
 	// ipCounter allocates synthetic addresses.
 	ipCounter uint32
@@ -261,12 +279,15 @@ type World struct {
 // NewWorld builds the initial population.
 func NewWorld(cfg WorldConfig) *World {
 	w := &World{
-		Cfg:   cfg,
-		Clock: simclock.NewSimulated(cfg.Start),
-		Geo:   geo.NewDB(),
-		Rng:   rand.New(rand.NewSource(cfg.Seed)),
-		byID:  make(map[enode.ID]*SimNode),
+		Cfg:    cfg,
+		Clock:  simclock.NewSimulated(cfg.Start),
+		Geo:    geo.NewDB(),
+		Rng:    rand.New(rand.NewSource(cfg.Seed)),
+		byID:   make(map[enode.ID]*SimNode),
+		byAddr: make(map[string]*SimNode),
+		keyRng: rand.New(rand.NewSource(cfg.Seed ^ 0x6b37)),
 	}
+	w.wire = newWireState(cfg.Seed, cfg.Metrics)
 	w.buildNetworks()
 	w.buildPopulation()
 	w.startAbusiveGenerators()
@@ -314,6 +335,17 @@ func (w *World) buildNetworks() {
 	}
 }
 
+// mintKey draws a real identity key from the dedicated key stream.
+func (w *World) mintKey() *secp256k1.PrivateKey {
+	key, err := secp256k1.GenerateKey(w.keyRng)
+	if err != nil {
+		// The deterministic rng never fails to yield a scalar in range
+		// within the retry budget; treat exhaustion as a program bug.
+		panic(fmt.Sprintf("simnet: minting identity key: %v", err))
+	}
+	return key
+}
+
 func (w *World) mintGenesis(seed string) chain.Hash {
 	return chain.Hash(keccak.Sum256([]byte("genesis:" + seed)))
 }
@@ -328,21 +360,32 @@ func (w *World) nextIP() net.IP {
 // buildPopulation mints the steady-state nodes.
 func (w *World) buildPopulation() {
 	for i := 0; i < w.Cfg.BaseNodes; i++ {
-		n := w.mintNode()
-		w.Nodes = append(w.Nodes, n)
-		w.byID[n.Node.ID] = n
+		w.register(w.mintNode())
 	}
+}
+
+// register indexes a minted node by identity and wire address.
+func (w *World) register(n *SimNode) {
+	w.Nodes = append(w.Nodes, n)
+	w.byID[n.Node.ID] = n
+	w.byAddr[n.Node.TCPAddr().String()] = n
 }
 
 // mintNode draws one node from the population distributions.
 func (w *World) mintNode() *SimNode {
 	rng := w.Rng
 	id := enode.RandomID(rng)
+	var key *secp256k1.PrivateKey
+	if w.Cfg.WireFidelity {
+		key = w.mintKey()
+		id = enode.PubkeyID(&key.Pub)
+	}
 	ip := w.nextIP()
 	node := enode.New(id, ip, 30303, 30303)
 
 	n := &SimNode{
 		Node:      node,
+		key:       key,
 		Service:   w.drawService(),
 		Reachable: rng.Float64() >= w.Cfg.UnreachableFraction,
 		Born:      w.Cfg.Start,
@@ -351,7 +394,7 @@ func (w *World) mintNode() *SimNode {
 		// hours with a long online tail.
 		SessionMean: time.Duration(2+rng.ExpFloat64()*20) * time.Hour,
 		OfflineMean: time.Duration(1+rng.ExpFloat64()*8) * time.Hour,
-		onlineSeed:  rng.Int63(),
+		life:        lifecycle{seed: uint64(rng.Int63())},
 	}
 	country := w.Geo.Country(ip)
 	n.RTTMedian = rttForCountry(country, rng)
@@ -519,51 +562,17 @@ func (w *World) NodeByID(id enode.ID) *SimNode {
 }
 
 // OnlineAt reports whether a node is online at virtual time t. The
-// on/off schedule is a deterministic function of the node's seed,
-// alternating exponential-ish sessions; transitions are materialized
-// lazily and cached so repeated queries are O(log n).
+// on/off schedule is a deterministic function of the node's lifecycle
+// seed; queries at non-decreasing times are O(1) amortized.
 func (n *SimNode) OnlineAt(t time.Time) bool {
-	if t.Before(n.Born) || t.After(n.Died) {
-		return false
-	}
-	n.schedMu.Lock()
-	defer n.schedMu.Unlock()
-	n.extendScheduleTo(t)
-	// The node starts online at Born; state flips at each transition
-	// ≤ t, so an even count of elapsed transitions means online.
-	idx := sort.Search(len(n.schedule), func(i int) bool { return n.schedule[i].After(t) })
-	return idx%2 == 0
+	return n.life.onlineAt(n, t)
 }
 
-// extendScheduleTo materializes transitions through t. Caller holds
-// schedMu. The PRNG state is reconstructed deterministically by
-// replaying draws, which stays cheap because extensions are
-// incremental and monotone in practice.
-func (n *SimNode) extendScheduleTo(t time.Time) {
-	if n.schedComplete || (len(n.schedule) > 0 && n.schedule[len(n.schedule)-1].After(t)) {
-		return
-	}
-	// Replay the whole schedule from the seed to preserve the exact
-	// historical sequence, then keep extending past t.
-	rng := rand.New(rand.NewSource(n.onlineSeed))
-	cur := n.Born
-	online := true
-	var sched []time.Time
-	for !cur.After(t.Add(time.Hour)) && !cur.After(n.Died) {
-		var span time.Duration
-		if online {
-			span = time.Duration(float64(n.SessionMean) * (0.2 + rng.ExpFloat64()))
-		} else {
-			span = time.Duration(float64(n.OfflineMean) * (0.2 + rng.ExpFloat64()))
-		}
-		cur = cur.Add(span)
-		sched = append(sched, cur)
-		online = !online
-	}
-	n.schedule = sched
-	if cur.After(n.Died) {
-		n.schedComplete = true
-	}
+// NextTransitionAfter returns the node's first online/offline state
+// change at or after t — the instant an event-driven scheduler should
+// revisit the node instead of polling it.
+func (n *SimNode) NextTransitionAfter(t time.Time) time.Time {
+	return n.life.nextTransition(n, t)
 }
 
 // BestBlockAt returns the node's advertised head number at t.
@@ -604,8 +613,14 @@ func (w *World) scheduleAbusiveMint(ip net.IP) {
 	w.Clock.AfterFunc(w.Cfg.AbusiveRate/2+jitter, func() {
 		now := w.Clock.Now()
 		id := enode.RandomID(w.Rng)
+		var key *secp256k1.PrivateKey
+		if w.Cfg.WireFidelity {
+			key = w.mintKey()
+			id = enode.PubkeyID(&key.Pub)
+		}
 		n := &SimNode{
 			Node:        enode.New(id, ip, 30303, 30303),
+			key:         key,
 			Service:     SvcEth,
 			Client:      ClientEthereumJS,
 			OSBuild:     "",
@@ -617,14 +632,13 @@ func (w *World) scheduleAbusiveMint(ip net.IP) {
 			Died:        now.Add(time.Duration(5+w.Rng.Intn(25)) * time.Minute),
 			SessionMean: time.Hour,
 			OfflineMean: time.Hour,
-			onlineSeed:  w.Rng.Int63(),
+			life:        lifecycle{seed: uint64(w.Rng.Int63())},
 			Fresh:       FreshStuckOld,
 			LagBlocks:   math.MaxUint64 >> 1, // best hash pinned at genesis
 			RTTMedian:   120 * time.Millisecond,
 			Abusive:     true,
 		}
-		w.Nodes = append(w.Nodes, n)
-		w.byID[id] = n
+		w.register(n)
 		w.scheduleAbusiveMint(ip)
 	})
 }

@@ -1,0 +1,308 @@
+package simnet
+
+import (
+	"math/big"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/devp2p"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/faultnet"
+	"repro/internal/metrics"
+	"repro/internal/netpipe"
+	"repro/internal/rlp"
+	"repro/internal/rlpx"
+)
+
+// This file implements wire promotion: the bridge between the
+// event-driven analytic population and real net.Conn machinery.
+//
+// An idle SimNode is nothing but fields and an O(1) lifecycle state
+// machine — no goroutine, no listener, no buffers. When a crawler
+// dials its address through DialWire, the node is PROMOTED for
+// exactly that connection: an in-memory duplex pipe is created and a
+// serving goroutine runs the node's genuine protocol behavior over
+// it — the full RLPx/DEVp2p/eth handshake chain for honest nodes
+// (with the node's real secp256k1 identity), or one of faultnet's
+// hostile attacks for wire-hostile nodes. When the connection ends,
+// the goroutine exits and the node is DEMOTED back to its analytic
+// state. A 100k-node world therefore costs 100k structs while idle,
+// and only the handful of in-flight dials ever own sockets or stacks.
+//
+// Offline, NAT'd, and unknown addresses never promote at all: the
+// dial fails analytically with the same error shapes a real TCP
+// connect would produce, so nodefinder.OutcomeClass buckets them
+// identically to a live crawl.
+
+// wireHandshakeTimeout bounds a promoted server's RLPx accept, a
+// backstop against a client that connects and never speaks.
+const wireHandshakeTimeout = 10 * time.Second
+
+// Analytic connect failures, shaped like the net package's errors so
+// the taxonomy matches a real crawl.
+var (
+	errWireRefused = errConnRefused
+	errWireTimeout = errTimeout
+)
+
+// wireState tracks promoted connections so CloseWire can sever them
+// and tests can assert the population fully demotes.
+type wireState struct {
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	conns  map[net.Conn]struct{}
+	closed bool
+	rng    *rand.Rand // occupancy draws and hostile attack seeds
+
+	promotions *metrics.Counter
+	demotions  *metrics.Counter
+	active     *metrics.Gauge
+}
+
+func newWireState(seed int64, r *metrics.Registry) *wireState {
+	return &wireState{
+		conns:      make(map[net.Conn]struct{}),
+		rng:        rand.New(rand.NewSource(seed ^ 0x3197e)),
+		promotions: r.Counter("simnet.promotions"),
+		demotions:  r.Counter("simnet.demotions"),
+		active:     r.Gauge("simnet.promoted_active"),
+	}
+}
+
+// PromotedActive returns the number of currently promoted
+// connections (servers still holding a live conn).
+func (w *World) PromotedActive() int {
+	w.wire.mu.Lock()
+	defer w.wire.mu.Unlock()
+	return len(w.wire.conns)
+}
+
+// DialWire is a nodefinder.RealDialer-compatible DialFunc that dials
+// into the simulated world. Reachable online nodes are promoted to a
+// live in-memory connection; everything else fails analytically.
+// Requires a WireFidelity world (promoted honest nodes must own real
+// keys to complete the RLPx handshake).
+func (w *World) DialWire(network, address string, timeout time.Duration) (net.Conn, error) {
+	n := w.byAddr[address]
+	if n == nil {
+		return nil, errWireRefused
+	}
+	now := w.Clock.Now()
+	if !n.Reachable {
+		// NAT'd: the SYN black-holes. The timeout error is immediate —
+		// wall-clock waiting would add nothing to the outcome.
+		return nil, errWireTimeout
+	}
+	if !n.OnlineAt(now) {
+		return nil, errWireRefused
+	}
+
+	ws := w.wire
+	ws.mu.Lock()
+	if ws.closed {
+		ws.mu.Unlock()
+		return nil, errWireRefused
+	}
+	client, server := netpipe.Pair()
+	ws.conns[server] = struct{}{}
+	seed := ws.rng.Int63()
+	occupied := !n.Hostile && ws.rng.Float64() < n.Occupancy
+	ws.promotions.Inc()
+	ws.active.Set(int64(len(ws.conns)))
+	ws.wg.Add(1)
+	ws.mu.Unlock()
+
+	go func() {
+		defer ws.wg.Done()
+		defer func() {
+			server.Close()
+			ws.mu.Lock()
+			delete(ws.conns, server)
+			ws.demotions.Inc()
+			ws.active.Set(int64(len(ws.conns)))
+			ws.mu.Unlock()
+		}()
+		w.serveWire(n, server, seed, occupied)
+	}()
+	return client, nil
+}
+
+// CloseWire severs every promoted connection and waits for all
+// serving goroutines to demote. Call when done with a WireFidelity
+// world; analytic worlds have nothing to close.
+func (w *World) CloseWire() {
+	ws := w.wire
+	ws.mu.Lock()
+	ws.closed = true
+	conns := make([]net.Conn, 0, len(ws.conns))
+	for c := range ws.conns {
+		conns = append(conns, c)
+	}
+	ws.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	ws.wg.Wait()
+}
+
+// serveWire runs one promoted connection to completion.
+func (w *World) serveWire(n *SimNode, fd net.Conn, seed int64, occupied bool) {
+	if n.Hostile {
+		// The hostile projection is faultnet's own attack code — the
+		// same bytes a listener-backed HostileServer would emit.
+		faultnet.ServeConn(n.HostileKind, n.key, seed, fd)
+		return
+	}
+	w.serveHonest(n, fd, occupied)
+}
+
+// serveHonest speaks the node's honest protocol for one connection:
+// RLPx accept with the node's real key, then HELLO, STATUS, and
+// header serving per the node's simulated identity. The server reads
+// before writing at each exchange; the buffered pipe makes ordering
+// safe regardless.
+func (w *World) serveHonest(n *SimNode, fd net.Conn, occupied bool) {
+	//lint:ignore wallclock connection deadlines are wall-clock instants guarding real goroutines, not simulated events
+	fd.SetDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	conn, err := rlpx.AcceptTimeout(fd, n.key, wireHandshakeTimeout)
+	if err != nil {
+		return
+	}
+	now := w.Clock.Now()
+
+	// Peer-limit rejection happens before HELLO, matching the
+	// analytic dialer's model: the crawler sees a DISCONNECT where
+	// the HELLO belongs and no handshake is recorded.
+	if occupied {
+		devp2p.SendDisconnect(conn, devp2p.DiscTooManyPeers) //nolint:errcheck
+		drain(conn)
+		return
+	}
+
+	theirs, err := devp2p.ReadHello(conn)
+	if err != nil {
+		return
+	}
+	ours := w.helloFor(n, now)
+	if err := devp2p.SendHello(conn, ours); err != nil {
+		return
+	}
+	if ours.Version >= devp2p.Version && theirs.Version >= devp2p.Version {
+		conn.SetSnappy(true)
+	}
+
+	caps := devp2p.MatchCaps(ours.Caps, theirs.Caps, map[string]uint64{eth.ProtocolName: eth.ProtocolLength})
+	var ethCap *devp2p.NegotiatedCap
+	for i := range caps {
+		if caps[i].Name == eth.ProtocolName {
+			ethCap = &caps[i]
+		}
+	}
+	if n.Service != SvcEth || ethCap == nil {
+		// Non-eth service (or no shared eth cap): the crawler learns
+		// the HELLO and cuts us loose as a useless peer.
+		drain(conn)
+		return
+	}
+
+	if _, err := eth.ReadStatus(conn, ethCap.Offset); err != nil {
+		return
+	}
+	status := w.statusFor(n, now)
+	status.ProtocolVersion = uint32(ethCap.Version)
+	if err := eth.SendStatus(conn, ethCap.Offset, status); err != nil {
+		return
+	}
+
+	// Serve requests (the DAO-fork header check, pings) until the
+	// crawler disconnects.
+	for {
+		code, payload, err := conn.ReadMsg()
+		if err != nil {
+			return
+		}
+		switch code {
+		case devp2p.DiscMsg:
+			return
+		case devp2p.PingMsg:
+			if err := devp2p.SendPong(conn); err != nil {
+				return
+			}
+		case ethCap.Offset + eth.GetBlockHeadersMsg:
+			var req eth.GetBlockHeaders
+			if err := rlp.DecodeBytes(payload, &req); err != nil {
+				return
+			}
+			resp, err := rlp.EncodeToBytes(w.headersFor(n, now, &req))
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMsg(ethCap.Offset+eth.BlockHeadersMsg, resp); err != nil {
+				return
+			}
+		default:
+			// Ignore broadcast traffic.
+		}
+	}
+}
+
+// drain reads until the peer hangs up, so the crawler's trailing
+// writes (DISCONNECT) land instead of erroring.
+func drain(conn *rlpx.Conn) {
+	for {
+		if _, _, err := conn.ReadMsg(); err != nil {
+			return
+		}
+	}
+}
+
+// headersFor synthesizes a header-chain response from the node's
+// analytic identity — no materialized chain required. The header the
+// crawler cares about is the DAO fork block: pro-fork network-1 nodes
+// carry the dao-hard-fork extra-data, anti-fork nodes do not, and
+// nodes that have not reached the fork respond with nothing.
+func (w *World) headersFor(n *SimNode, now time.Time, req *eth.GetBlockHeaders) []*chain.Header {
+	if req.Origin.IsHash || req.Amount == 0 || n.Network == nil {
+		return nil
+	}
+	best := n.BestBlockAt(now)
+	amount := req.Amount
+	if amount > 16 {
+		amount = 16 // the crawler never asks for more than one
+	}
+	var headers []*chain.Header
+	step := req.Skip + 1
+	num := req.Origin.Number
+	for uint64(len(headers)) < amount {
+		if num > best {
+			break
+		}
+		h := &chain.Header{
+			Difficulty: big.NewInt(131072),
+			Number:     new(big.Int).SetUint64(num),
+			GasLimit:   8_000_000,
+			Time:       uint64(now.Unix()),
+		}
+		if n.Network.DAOFork && num >= chain.DAOForkBlock && num < chain.DAOForkBlock+10 {
+			h.Extra = append([]byte(nil), chain.DAOForkBlockExtra...)
+		}
+		headers = append(headers, h)
+		if req.Reverse {
+			if num < step {
+				break
+			}
+			num -= step
+		} else {
+			num += step
+		}
+	}
+	return headers
+}
+
+// WireNode exposes a node's enode record by index — convenience for
+// tests that seed discovery with the wire world's population.
+func (w *World) WireNode(i int) *enode.Node { return w.Nodes[i].Node }
