@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-crypto bench-crawl fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
+.PHONY: all build vet test race bench bench-crypto bench-crawl bench-wire fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
 
 all: build vet test
 
@@ -11,13 +11,17 @@ fmt-check:
 	fi
 
 # Reproduce the full CI pipeline (.github/workflows/ci.yml) locally.
-ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos bench-crawl
+ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos bench-wire bench-crawl
 
 # 30 seconds of coverage-guided fuzzing per untrusted-input decoder.
 # Each target also replays its committed regression corpus first.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/rlp
+	go test -run='^$$' -fuzz=FuzzPlanVsOracleStruct -fuzztime=$(FUZZTIME) ./internal/rlp
+	go test -run='^$$' -fuzz=FuzzPlanVsOracleSlice -fuzztime=$(FUZZTIME) ./internal/rlp
+	go test -run='^$$' -fuzz=FuzzPlanVsOracleBigInt -fuzztime=$(FUZZTIME) ./internal/rlp
+	go test -run='^$$' -fuzz=FuzzPlanVsOracleCustom -fuzztime=$(FUZZTIME) ./internal/rlp
 	go test -run='^$$' -fuzz=FuzzDecodePacket -fuzztime=$(FUZZTIME) ./internal/discv4
 	go test -run='^$$' -fuzz=FuzzReadHello -fuzztime=$(FUZZTIME) ./internal/devp2p
 	go test -run='^$$' -fuzz=FuzzDecodeDisconnect -fuzztime=$(FUZZTIME) ./internal/devp2p
@@ -41,6 +45,14 @@ bench-smoke:
 # >20% nodes/sec regression against the committed BENCH_crawl.json.
 bench-crawl:
 	go run ./cmd/benchcrawl -out BENCH_crawl.ci.json -baseline BENCH_crawl.json
+
+# Wire-codec gate: plan codec vs reflection oracle on the
+# handshake-path messages (HELLO, STATUS, discv4 PING). Emits
+# BENCH_wire.ci.json and fails if any encode/decode direction falls
+# below a 10x allocs/op advantage, or regresses >20% in ns/op against
+# the committed BENCH_wire.json.
+bench-wire:
+	go run ./cmd/benchwire -out BENCH_wire.ci.json -baseline BENCH_wire.json
 
 build:
 	go build ./...

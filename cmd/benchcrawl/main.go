@@ -11,11 +11,19 @@
 //	benchcrawl [-nodes N] [-seed S] [-out BENCH_crawl.json]
 //	           [-baseline BENCH_crawl.json] [-tolerance 0.20]
 //	           [-max-wall 60s] [-max-rss 2147483648]
+//	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	           [-rlp-reflect]
 //
 // With -baseline, the run compares its nodes/sec against the
 // committed figure and exits non-zero on a regression beyond the
 // tolerance. The wall-clock and RSS gates always apply (zero
 // disables either).
+//
+// -cpuprofile and -memprofile write pprof profiles of the crawl
+// (allocation profiles cover the whole run; the CPU profile stops
+// before the gates run). -rlp-reflect disables the compiled RLP codec
+// plans for the run, so the two backends can be profiled against each
+// other.
 package main
 
 import (
@@ -30,9 +38,12 @@ import (
 	"sync"
 	"time"
 
+	"runtime/pprof"
+
 	"repro/internal/metrics"
 	"repro/internal/nodefinder"
 	"repro/internal/nodefinder/mlog"
+	"repro/internal/rlp"
 	"repro/internal/simnet"
 )
 
@@ -73,19 +84,51 @@ func (c *census) counts() (int, uint64) {
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 100_000, "world population size")
-		seed      = flag.Int64("seed", 42, "world seed (deterministic population)")
-		out       = flag.String("out", "BENCH_crawl.json", "write the result JSON here ('-' for stdout only)")
-		baseline  = flag.String("baseline", "", "compare nodes/sec against this committed result")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed relative nodes/sec regression vs baseline")
-		converge  = flag.Float64("converge", 0.99, "census fraction that counts as converged")
-		maxWall   = flag.Duration("max-wall", 60*time.Second, "fail if convergence takes longer than this (0 disables)")
-		maxRSS    = flag.Int64("max-rss", 2<<30, "fail if peak RSS exceeds this many bytes (0 disables)")
-		verbose   = flag.Bool("v", false, "log progress per virtual chunk")
+		nodes      = flag.Int("nodes", 100_000, "world population size")
+		seed       = flag.Int64("seed", 42, "world seed (deterministic population)")
+		out        = flag.String("out", "BENCH_crawl.json", "write the result JSON here ('-' for stdout only)")
+		baseline   = flag.String("baseline", "", "compare nodes/sec against this committed result")
+		tolerance  = flag.Float64("tolerance", 0.20, "allowed relative nodes/sec regression vs baseline")
+		converge   = flag.Float64("converge", 0.99, "census fraction that counts as converged")
+		maxWall    = flag.Duration("max-wall", 60*time.Second, "fail if convergence takes longer than this (0 disables)")
+		maxRSS     = flag.Int64("max-rss", 2<<30, "fail if peak RSS exceeds this many bytes (0 disables)")
+		verbose    = flag.Bool("v", false, "log progress per virtual chunk")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the crawl here")
+		memprofile = flag.String("memprofile", "", "write an allocation profile here at exit")
+		rlpReflect = flag.Bool("rlp-reflect", false, "decode/encode RLP via the reflection walker instead of compiled plans")
 	)
 	flag.Parse()
 
+	rlp.SetPlanCodec(!*rlpReflect)
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcrawl:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcrawl:", err)
+			os.Exit(1)
+		}
+	}
+
 	res, err := run(*nodes, *seed, *converge, *maxWall, *verbose)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		pf, perr := os.Create(*memprofile)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "benchcrawl:", perr)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final heap for the alloc profile
+		if perr := pprof.WriteHeapProfile(pf); perr != nil {
+			fmt.Fprintln(os.Stderr, "benchcrawl:", perr)
+			os.Exit(1)
+		}
+		pf.Close() //nolint:errcheck
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcrawl:", err)
 		os.Exit(1)

@@ -1,0 +1,284 @@
+// Command benchwire measures the zero-alloc wire codec against the
+// reflection walker it replaced. For each handshake-path message the
+// crawler sends or parses at volume — devp2p HELLO, eth STATUS, and
+// the discv4 PING — it benchmarks encode and decode through the
+// compiled codec plans (the default path) and through the reflection
+// oracle (rlp.OracleEncodeToBytes / rlp.OracleDecodeBytes), then
+// emits BENCH_wire.json.
+//
+// Usage:
+//
+//	benchwire [-out BENCH_wire.json] [-baseline BENCH_wire.json]
+//	          [-tolerance 0.20] [-min-alloc-ratio 10]
+//
+// Two gates make the result a contract rather than a report:
+//
+//   - The in-run allocation ratio (oracle allocs/op over plan
+//     allocs/op) must reach -min-alloc-ratio for every message and
+//     direction. Allocation counts are deterministic, so this gate is
+//     machine-independent.
+//   - With -baseline, each plan-path ns/op is compared against the
+//     committed figure and the run fails on a regression beyond the
+//     tolerance (the BENCH_crawl.json pattern).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/devp2p"
+	"repro/internal/discv4"
+	"repro/internal/enode"
+	"repro/internal/eth"
+	"repro/internal/rlp"
+)
+
+// Direction is one benchmarked codec direction of one message.
+type Direction struct {
+	PlanNsOp     float64 `json:"plan_ns_op"`
+	PlanAllocs   float64 `json:"plan_allocs_op"`
+	OracleNsOp   float64 `json:"oracle_ns_op"`
+	OracleAllocs float64 `json:"oracle_allocs_op"`
+	AllocRatio   float64 `json:"alloc_ratio"`
+	SpeedupX     float64 `json:"speedup_x"`
+}
+
+// Message is the per-message benchmark record.
+type Message struct {
+	Name   string    `json:"name"`
+	Bytes  int       `json:"encoded_bytes"`
+	Encode Direction `json:"encode"`
+	Decode Direction `json:"decode"`
+}
+
+// Result is the BENCH_wire.json schema.
+type Result struct {
+	GoVersion string    `json:"go_version"`
+	Messages  []Message `json:"messages"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_wire.json", "write the result JSON here ('-' for stdout only)")
+		baseline  = flag.String("baseline", "", "compare plan ns/op against this committed result")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed relative ns/op regression vs baseline")
+		minRatio  = flag.Float64("min-alloc-ratio", 10, "fail if oracle/plan allocs-per-op falls below this")
+	)
+	flag.Parse()
+
+	res := &Result{GoVersion: runtime.Version()}
+	for _, m := range wireMessages() {
+		rec, err := benchMessage(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchwire:", err)
+			os.Exit(1)
+		}
+		res.Messages = append(res.Messages, *rec)
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchwire:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf) //nolint:errcheck
+	if *out != "-" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchwire:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, m := range res.Messages {
+		for dir, d := range map[string]Direction{"encode": m.Encode, "decode": m.Decode} {
+			if d.AllocRatio < *minRatio {
+				fmt.Fprintf(os.Stderr, "FAIL: %s %s alloc ratio %.1fx below the %.0fx floor (plan %.1f vs oracle %.1f allocs/op)\n",
+					m.Name, dir, d.AllocRatio, *minRatio, d.PlanAllocs, d.OracleAllocs)
+				failed = true
+			}
+		}
+	}
+	if *baseline != "" {
+		if err := compareBaseline(res, *baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// wireMsg is one message to benchmark: a value to encode and a
+// factory for decode destinations.
+type wireMsg struct {
+	name string
+	val  any
+	mk   func() any
+}
+
+// wireMessages returns representative instances of the three
+// handshake-path messages, shaped like real mainnet traffic.
+func wireMessages() []wireMsg {
+	return []wireMsg{
+		{
+			name: "hello",
+			val: &devp2p.Hello{
+				Version:    devp2p.Version,
+				Name:       "Geth/v1.8.11-stable/linux-amd64/go1.10",
+				Caps:       []devp2p.Cap{{Name: "eth", Version: 62}, {Name: "eth", Version: 63}},
+				ListenPort: 30303,
+				ID:         enode.ID{0x41, 0x76, 0x02},
+			},
+			mk: func() any { return new(devp2p.Hello) },
+		},
+		{
+			name: "status",
+			val: &eth.Status{
+				ProtocolVersion: uint32(eth.Version63),
+				NetworkID:       1,
+				TD:              new(big.Int).SetBytes([]byte{0x02, 0x3c, 0x91, 0xd7, 0xbb, 0x2e, 0x8f, 0x41, 0x55, 0xaa}),
+				BestHash:        chain.Hash{0x7d, 0x5a},
+				GenesisHash:     chain.Hash{0xd4, 0xe5},
+			},
+			mk: func() any { return new(eth.Status) },
+		},
+		{
+			name: "discv4-ping",
+			val: &discv4.Ping{
+				Version:    discv4.Version,
+				From:       discv4.Endpoint{IP: net.IP{10, 3, 58, 6}, UDP: 30303, TCP: 30303},
+				To:         discv4.Endpoint{IP: net.IP{192, 168, 1, 1}, UDP: 30303, TCP: 30303},
+				Expiration: 1526987786,
+			},
+			mk: func() any { return new(discv4.Ping) },
+		},
+	}
+}
+
+func benchMessage(m wireMsg) (*Message, error) {
+	enc, err := rlp.EncodeToBytes(m.val)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.name, err)
+	}
+	// Sanity: the two backends must agree byte-for-byte before their
+	// performance is compared.
+	oenc, err := rlp.OracleEncodeToBytes(m.val)
+	if err != nil {
+		return nil, fmt.Errorf("%s oracle: %w", m.name, err)
+	}
+	if string(enc) != string(oenc) {
+		return nil, fmt.Errorf("%s: plan and oracle encodings diverge", m.name)
+	}
+
+	rec := &Message{Name: m.name, Bytes: len(enc)}
+	rec.Encode = direction(
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rlp.EncodeToBytes(m.val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rlp.OracleEncodeToBytes(m.val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	)
+	dst, odst := m.mk(), m.mk()
+	rec.Decode = direction(
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := rlp.DecodeBytes(enc, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := rlp.OracleDecodeBytes(enc, odst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	)
+	return rec, nil
+}
+
+// direction runs the plan and oracle benchmark closures and derives
+// the comparison figures.
+func direction(plan, oracle func(*testing.B)) Direction {
+	pr := testing.Benchmark(plan)
+	or := testing.Benchmark(oracle)
+	d := Direction{
+		PlanNsOp:     float64(pr.NsPerOp()),
+		PlanAllocs:   float64(pr.AllocsPerOp()),
+		OracleNsOp:   float64(or.NsPerOp()),
+		OracleAllocs: float64(or.AllocsPerOp()),
+	}
+	// A fully allocation-free direction would divide by zero; report
+	// the oracle count as the ratio floor in that case.
+	if d.PlanAllocs > 0 {
+		d.AllocRatio = d.OracleAllocs / d.PlanAllocs
+	} else {
+		d.AllocRatio = d.OracleAllocs
+	}
+	if d.PlanNsOp > 0 {
+		d.SpeedupX = d.OracleNsOp / d.PlanNsOp
+	}
+	return d
+}
+
+// compareBaseline fails on plan-path ns/op regressions beyond tol,
+// and nudges toward a baseline refresh on improvements beyond it.
+func compareBaseline(res *Result, path string, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Result
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	byName := make(map[string]Message, len(base.Messages))
+	for _, m := range base.Messages {
+		byName[m.Name] = m
+	}
+	for _, m := range res.Messages {
+		bm, ok := byName[m.Name]
+		if !ok {
+			continue
+		}
+		for dir, pair := range map[string][2]float64{
+			"encode": {m.Encode.PlanNsOp, bm.Encode.PlanNsOp},
+			"decode": {m.Decode.PlanNsOp, bm.Decode.PlanNsOp},
+		} {
+			got, want := pair[0], pair[1]
+			if want <= 0 {
+				continue
+			}
+			ratio := got / want
+			switch {
+			case ratio > 1+tol:
+				return fmt.Errorf("%s %s: %.0f ns/op is %.0f%% above baseline %.0f (tolerance %.0f%%)",
+					m.Name, dir, got, (ratio-1)*100, want, tol*100)
+			case ratio < 1-tol:
+				fmt.Fprintf(os.Stderr, "note: %s %s %.0f ns/op beats baseline %.0f by %.0f%% — refresh BENCH_wire.json\n",
+					m.Name, dir, got, want, (1-ratio)*100)
+			}
+		}
+	}
+	return nil
+}

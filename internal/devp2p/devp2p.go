@@ -122,6 +122,26 @@ type MsgReadWriter interface {
 	WriteMsg(code uint64, payload []byte) error
 }
 
+// ValueWriter is the optional fast path a transport may offer for
+// sending RLP-encoded values: *rlpx.Conn encodes straight into its
+// frame scratch, skipping the intermediate payload allocation.
+type ValueWriter interface {
+	WriteMsgValue(code uint64, v any) error
+}
+
+// WriteValue sends one message whose payload is the RLP encoding of
+// v, using the transport's ValueWriter fast path when it has one.
+func WriteValue(rw MsgReadWriter, code uint64, v any) error {
+	if vw, ok := rw.(ValueWriter); ok {
+		return vw.WriteMsgValue(code, v)
+	}
+	payload, err := rlp.EncodeToBytes(v)
+	if err != nil {
+		return err
+	}
+	return rw.WriteMsg(code, payload)
+}
+
 // Errors.
 var (
 	ErrUnexpectedMessage = errors.New("devp2p: unexpected message before hello")
@@ -138,11 +158,7 @@ func (e DisconnectError) Error() string {
 
 // SendHello writes our HELLO message.
 func SendHello(rw MsgReadWriter, h *Hello) error {
-	payload, err := rlp.EncodeToBytes(h)
-	if err != nil {
-		return fmt.Errorf("devp2p: encoding hello: %w", err)
-	}
-	return rw.WriteMsg(HelloMsg, payload)
+	return WriteValue(rw, HelloMsg, h)
 }
 
 // ReadHello reads the peer's HELLO, tolerating a DISCONNECT in its
@@ -181,11 +197,7 @@ func ExchangeHello(rw MsgReadWriter, ours *Hello) (*Hello, error) {
 
 // SendDisconnect writes a DISCONNECT with the given reason.
 func SendDisconnect(rw MsgReadWriter, reason DisconnectReason) error {
-	payload, err := rlp.EncodeToBytes([]uint64{uint64(reason)})
-	if err != nil {
-		return err
-	}
-	return rw.WriteMsg(DiscMsg, payload)
+	return WriteValue(rw, DiscMsg, []uint64{uint64(reason)})
 }
 
 // DecodeDisconnect parses a DISCONNECT payload, accepting both the

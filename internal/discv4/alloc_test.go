@@ -1,0 +1,53 @@
+//go:build !race
+
+// Allocation-regression pins for the discovery wire path. The plan
+// codec (internal/rlp) makes ping encode into a reused buffer
+// allocation-free and bounds decode to the two net.IP backings it
+// must hand to the caller; these tests fail if a change regresses
+// that. Excluded under the race detector, whose instrumentation
+// changes allocation counts.
+package discv4
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/rlp"
+)
+
+func TestPingAllocs(t *testing.T) {
+	ping := &Ping{
+		Version:    Version,
+		From:       Endpoint{IP: net.IP{10, 0, 0, 1}, UDP: 30303, TCP: 30303},
+		To:         Endpoint{IP: net.IP{10, 0, 0, 2}, UDP: 30304, TCP: 30304},
+		Expiration: 1700000000,
+	}
+
+	buf := make([]byte, 0, 256)
+	enc := testing.AllocsPerRun(200, func() {
+		out, err := rlp.EncodeAppend(buf, ping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = out
+	})
+	if enc > 0 {
+		t.Errorf("ping encode: %v allocs/op, want 0 (EncodeAppend into sized scratch)", enc)
+	}
+
+	encoded, err := rlp.EncodeToBytes(ping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst Ping
+	dec := testing.AllocsPerRun(200, func() {
+		if err := rlp.DecodeFirst(encoded, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Two allocations: the From.IP and To.IP backings owned by the
+	// decoded value.
+	if dec > 2 {
+		t.Errorf("ping decode: %v allocs/op, want <= 2", dec)
+	}
+}

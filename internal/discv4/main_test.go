@@ -1,0 +1,22 @@
+package discv4
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/rlp"
+)
+
+// TestMain honors RLP_BACKEND=reflect so the packet benchmarks can be
+// run — and profiled — under the reflection walker the compiled codec
+// plans replaced:
+//
+//	RLP_BACKEND=reflect go test -run '^$' -bench Packet -cpuprofile old.prof .
+//
+// The before/after profile table in DESIGN.md comes from this switch.
+func TestMain(m *testing.M) {
+	if os.Getenv("RLP_BACKEND") == "reflect" {
+		rlp.SetPlanCodec(false)
+	}
+	os.Exit(m.Run())
+}

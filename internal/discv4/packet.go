@@ -144,13 +144,14 @@ func EncodePacket(priv *secp256k1.PrivateKey, pkt any) (datagram, hash []byte, e
 	if err != nil {
 		return nil, nil, err
 	}
-	payload, err := rlp.EncodeToBytes(pkt)
+	// Encode the payload directly behind the packet header instead of
+	// into a temporary: one buffer, one allocation for the datagram.
+	b := make([]byte, headSize+1, headSize+1+256)
+	b[headSize] = ptype
+	b, err = rlp.EncodeAppend(b, pkt)
 	if err != nil {
 		return nil, nil, fmt.Errorf("discv4: encoding payload: %w", err)
 	}
-	b := make([]byte, headSize+1, headSize+1+len(payload))
-	b[headSize] = ptype
-	b = append(b, payload...)
 
 	toSign := keccak.Sum256(b[headSize:])
 	sig, err := secp256k1.Sign(priv, toSign[:])
@@ -193,8 +194,10 @@ func DecodePacket(buf []byte) (pkt any, fromID enode.ID, hash []byte, err error)
 	default:
 		return nil, fromID, h[:], fmt.Errorf("%w: %d", ErrUnknownPacket, ptype)
 	}
-	s := rlp.NewStream(bytes.NewReader(buf[headSize+1:]), uint64(len(buf)-headSize-1))
-	if err := s.Decode(dec); err != nil {
+	// DecodeFirst, like the stream decoder it replaces, tolerates
+	// trailing bytes after the first value — real clients pad
+	// discovery payloads for forward compatibility.
+	if err := rlp.DecodeFirst(buf[headSize+1:], dec); err != nil {
 		return nil, fromID, h[:], fmt.Errorf("discv4: decoding payload: %w", err)
 	}
 	return dec, fromID, h[:], nil

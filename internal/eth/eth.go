@@ -169,11 +169,7 @@ var (
 
 // SendStatus writes a STATUS message at the negotiated code offset.
 func SendStatus(rw devp2p.MsgReadWriter, offset uint64, s *Status) error {
-	payload, err := rlp.EncodeToBytes(s)
-	if err != nil {
-		return fmt.Errorf("eth: encoding status: %w", err)
-	}
-	return rw.WriteMsg(offset+StatusMsg, payload)
+	return devp2p.WriteValue(rw, offset+StatusMsg, s)
 }
 
 // ReadStatus reads the peer's STATUS. A DISCONNECT in its place is
@@ -217,11 +213,7 @@ func CheckCompatibility(ours, theirs *Status) error {
 
 // RequestHeaders sends GET_BLOCK_HEADERS.
 func RequestHeaders(rw devp2p.MsgReadWriter, offset uint64, req *GetBlockHeaders) error {
-	payload, err := rlp.EncodeToBytes(req)
-	if err != nil {
-		return err
-	}
-	return rw.WriteMsg(offset+GetBlockHeadersMsg, payload)
+	return devp2p.WriteValue(rw, offset+GetBlockHeadersMsg, req)
 }
 
 // ReadHeaders reads a BLOCK_HEADERS response, skipping unrelated

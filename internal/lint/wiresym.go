@@ -184,13 +184,17 @@ func (wc *wsChecker) classifyRLPCall(f *ir.Func, call *ast.CallExpr) (enc, dec b
 		return false, false, 0
 	}
 	switch sel.Sel.Name {
-	case "EncodeToBytes":
+	case "EncodeToBytes", "OracleEncodeToBytes":
 		return true, false, 0
+	case "EncodeAppend":
+		// rlp.EncodeAppend(dst, v): the value rides in the second
+		// argument, after the destination buffer.
+		return true, false, 1
 	case "Encode":
 		// rlp.Encode(w, v); Stream has no Encode method so package
 		// function is the only shape.
 		return true, false, 1
-	case "DecodeBytes":
+	case "DecodeBytes", "DecodeFirst", "OracleDecodeBytes":
 		return false, true, 1
 	case "Decode":
 		if fn.Type().(*types.Signature).Recv() != nil {
@@ -506,13 +510,13 @@ func (wc *wsChecker) checkBounds(analyzer string) []Finding {
 			continue
 		}
 		switch fn.Name() {
-		case "DecodeBytes":
+		case "DecodeBytes", "DecodeFirst", "OracleDecodeBytes":
 			buf := unparen(site.call.Args[0])
 			if !lenGuardBefore(f, buf, site.call.Pos()) {
 				findings = append(findings, Finding{
 					Pos:      f.Position(site.call.Pos()),
 					Analyzer: analyzer,
-					Message:  "rlp.DecodeBytes on a payload with no earlier len() bound: a hostile peer sizes this allocation — check the payload length against the message's cap first",
+					Message:  fmt.Sprintf("rlp.%s on a payload with no earlier len() bound: a hostile peer sizes this allocation — check the payload length against the message's cap first", fn.Name()),
 				})
 			}
 		case "Decode":

@@ -28,11 +28,49 @@ func Decode(r io.Reader, v any) error {
 // DecodeBytes parses RLP data from b into v. Input must contain
 // exactly one value and no trailing data.
 func DecodeBytes(b []byte, v any) error {
-	s := NewStream(bytes.NewReader(b), uint64(len(b)))
-	if err := s.Decode(v); err != nil {
+	return decodeBytesInner(b, v, true)
+}
+
+// DecodeFirst parses the first RLP value in b into v, ignoring any
+// trailing bytes. Protocol code that frames several values itself
+// (the discv4 packet codec tolerates trailing data for forward
+// compatibility) uses this where DecodeBytes would reject the input.
+func DecodeFirst(b []byte, v any) error {
+	return decodeBytesInner(b, v, false)
+}
+
+func decodeBytesInner(b []byte, v any, exact bool) error {
+	if v == nil {
+		return errors.New("rlp: Decode target is nil")
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer {
+		return fmt.Errorf("rlp: Decode target must be a pointer, got %T", v)
+	}
+	if rv.IsNil() {
+		return errors.New("rlp: Decode target is a nil pointer")
+	}
+	if PlanCodecEnabled() {
+		if p, err := cachedPlan(rv.Type().Elem()); err == nil {
+			var d byteDec
+			d.in = b
+			if err := d.decode(p, rv.Elem(), len(b), false); err != nil {
+				return err
+			}
+			if exact && d.pos < len(b) {
+				return ErrMoreThanOneValue
+			}
+			return nil
+		}
+	}
+	// Reflection fallback (plan backend off, or the type does not
+	// compile); the stream and its reader come from a pool.
+	ps := getStream(b)
+	defer putStream(ps)
+	if err := ps.s.Decode(v); err != nil {
 		return err
 	}
-	if s.remaining() > 0 {
+	if exact && ps.s.remaining() > 0 {
 		return ErrMoreThanOneValue
 	}
 	return nil
@@ -69,9 +107,12 @@ func NewStream(r io.Reader, inputLimit uint64) *Stream {
 	return s
 }
 
-// Reset discards all stream state and starts reading from r.
+// Reset discards all stream state and starts reading from r. The
+// list stack's backing array is kept so pooled streams do not regrow
+// it on every decode.
 func (s *Stream) Reset(r io.Reader, inputLimit uint64) {
-	*s = Stream{r: r}
+	stack := s.stack[:0]
+	*s = Stream{r: r, stack: stack}
 	if inputLimit > 0 {
 		s.limited = true
 		s.remainingBytes = inputLimit

@@ -17,8 +17,9 @@ var encoderType = reflect.TypeOf((*Encoder)(nil)).Elem()
 
 // Encode writes the RLP encoding of v to w.
 func Encode(w io.Writer, v any) error {
-	buf := newEncBuffer()
-	if err := buf.encode(reflect.ValueOf(v)); err != nil {
+	buf := getEncBuffer()
+	defer putEncBuffer(buf)
+	if err := buf.encodeValue(reflect.ValueOf(v)); err != nil {
 		return err
 	}
 	_, err := w.Write(buf.finish())
@@ -27,11 +28,26 @@ func Encode(w io.Writer, v any) error {
 
 // EncodeToBytes returns the RLP encoding of v.
 func EncodeToBytes(v any) ([]byte, error) {
-	buf := newEncBuffer()
-	if err := buf.encode(reflect.ValueOf(v)); err != nil {
+	buf := getEncBuffer()
+	defer putEncBuffer(buf)
+	if err := buf.encodeValue(reflect.ValueOf(v)); err != nil {
 		return nil, err
 	}
 	return buf.finish(), nil
+}
+
+// EncodeAppend appends the RLP encoding of v to dst and returns the
+// extended slice. The encode runs through a pooled buffer, so on the
+// hot wire path the only allocation is growth of dst itself — callers
+// that recycle dst (rlpx frame scratch, discv4 datagrams) encode with
+// zero allocations.
+func EncodeAppend(dst []byte, v any) ([]byte, error) {
+	buf := getEncBuffer()
+	defer putEncBuffer(buf)
+	if err := buf.encodeValue(reflect.ValueOf(v)); err != nil {
+		return dst, err
+	}
+	return buf.appendTo(dst), nil
 }
 
 // AppendUint appends the RLP encoding of i to b. It is a fast path
@@ -69,14 +85,31 @@ type listHead struct {
 // are materialized in finish once all payload sizes are known. This
 // is the single-pass strategy used by the canonical implementation.
 type encBuffer struct {
-	str     []byte     // string data, excluding list headers
-	lheads  []listHead // all list headers, in order of appearance
-	lhsize  int        // sum of encoded sizes of all list headers
-	depth   int        // current nesting depth during encoding
-	pending []int      // indexes into lheads of currently open lists
+	str    []byte     // string data, excluding list headers
+	lheads []listHead // all list headers, in order of appearance
+	lhsize int        // sum of encoded sizes of all list headers
+	depth  int        // current nesting depth during encoding
 }
 
 func newEncBuffer() *encBuffer { return &encBuffer{} }
+
+// reset prepares a recycled buffer for a new encode, keeping the
+// backing arrays.
+func (buf *encBuffer) reset() {
+	buf.str = buf.str[:0]
+	buf.lheads = buf.lheads[:0]
+	buf.lhsize = 0
+	buf.depth = 0
+}
+
+// Write implements io.Writer: custom Encoder implementations write
+// their fully-encoded bytes straight into the buffer. (On error the
+// enclosing encode discards the whole buffer, so partial writes are
+// never observable.)
+func (buf *encBuffer) Write(p []byte) (int, error) {
+	buf.str = append(buf.str, p...)
+	return len(p), nil
+}
 
 func (buf *encBuffer) size() int { return len(buf.str) + buf.lhsize }
 
@@ -101,6 +134,17 @@ func (buf *encBuffer) writeString(b []byte) {
 	}
 	buf.writeHead(0x80, len(b))
 	buf.write(b)
+}
+
+// writeStr is writeString for string values, appending the payload
+// directly without a []byte conversion.
+func (buf *encBuffer) writeStr(s string) {
+	if len(s) == 1 && s[0] < 0x80 {
+		buf.writeByte(s[0])
+		return
+	}
+	buf.writeHead(0x80, len(s))
+	buf.str = append(buf.str, s...)
 }
 
 // writeHead emits a header with the given base tag (0x80 strings,
@@ -170,20 +214,26 @@ func (buf *encBuffer) listEnd(idx int) {
 func (buf *encBuffer) finish() []byte {
 	//lint:ignore boundedalloc egress buffer sized by our own encoder's accounting, not peer input
 	out := make([]byte, 0, buf.size())
+	return buf.appendTo(out)
+}
+
+// appendTo appends the finished encoding (string data interleaved
+// with materialized list headers) to dst.
+func (buf *encBuffer) appendTo(dst []byte) []byte {
 	strpos := 0
 	for _, h := range buf.lheads {
-		out = append(out, buf.str[strpos:h.offset]...)
+		dst = append(dst, buf.str[strpos:h.offset]...)
 		strpos = h.offset
 		if h.size < 56 {
-			out = append(out, 0xC0+byte(h.size))
+			dst = append(dst, 0xC0+byte(h.size))
 		} else {
 			var tmp [9]byte
 			n := putInt(tmp[1:], uint64(h.size))
 			tmp[0] = 0xC0 + 55 + byte(n)
-			out = append(out, tmp[:n+1]...)
+			dst = append(dst, tmp[:n+1]...)
 		}
 	}
-	return append(out, buf.str[strpos:]...)
+	return append(dst, buf.str[strpos:]...)
 }
 
 const maxEncodeDepth = 1024

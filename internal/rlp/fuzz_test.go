@@ -75,12 +75,11 @@ func FuzzDecode(f *testing.F) {
 				t.Fatalf("string %q: decode∘encode mismatch", s)
 			}
 		}
-		var bs []byte
-		DecodeBytes(data, &bs) //nolint:errcheck
-		var list []uint64
-		DecodeBytes(data, &list) //nolint:errcheck
-		var h helloLike
-		DecodeBytes(data, &h) //nolint:errcheck
+		// Cross-check the plan codec against the reflection oracle on
+		// the remaining target shapes (see plan_diff_test.go).
+		diffDecode(t, data, new([]byte), new([]byte), true)
+		diffDecode(t, data, new([]uint64), new([]uint64), true)
+		diffDecode(t, data, new(helloLike), new(helloLike), true)
 
 		CountValues(data) //nolint:errcheck
 		SplitString(data) //nolint:errcheck

@@ -1,0 +1,35 @@
+package rlp
+
+import (
+	"bytes"
+	"reflect"
+)
+
+// Differential-oracle entry points: the original reflection codec
+// with no compiled plans and no pooling, byte-for-byte the seed
+// behavior. Fuzz targets and the wire benchmarks run the fast path
+// against these — any divergence in output bytes, decoded values, or
+// success/failure is a bug in the plan layer. The pattern matches
+// internal/crypto/secp256k1's math/big oracle backend.
+
+// OracleEncodeToBytes is EncodeToBytes on the pure reflection
+// walker.
+func OracleEncodeToBytes(v any) ([]byte, error) {
+	buf := newEncBuffer()
+	if err := buf.encode(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return buf.finish(), nil
+}
+
+// OracleDecodeBytes is DecodeBytes on a fresh reflection Stream.
+func OracleDecodeBytes(b []byte, v any) error {
+	s := NewStream(bytes.NewReader(b), uint64(len(b)))
+	if err := s.Decode(v); err != nil {
+		return err
+	}
+	if s.remaining() > 0 {
+		return ErrMoreThanOneValue
+	}
+	return nil
+}

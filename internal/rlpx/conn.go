@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/crypto/secp256k1"
 	"repro/internal/enode"
+	"repro/internal/rlp"
 	"repro/internal/snappy"
 )
 
@@ -42,6 +43,11 @@ type Conn struct {
 	fd       net.Conn
 	rw       *frameRW
 	remoteID enode.ID
+
+	// pbuf is the WriteMsgValue payload scratch. Like the frame
+	// buffers in frameRW it is owned by the single writer goroutine
+	// and reused across messages.
+	pbuf []byte
 
 	readTimeout  atomic.Int64 // nanoseconds; 0 disables
 	writeTimeout atomic.Int64
@@ -159,6 +165,26 @@ func (c *Conn) WriteMsg(code uint64, payload []byte) error {
 	}
 	return err
 }
+
+// WriteMsgValue RLP-encodes v straight into the connection's payload
+// scratch and sends it as one message, skipping the per-message
+// payload allocation that WriteMsg(code, rlp.EncodeToBytes(v)) pays.
+// Encoding uses the compiled codec plans, so steady-state sends of
+// wire structs allocate nothing on the encode side.
+func (c *Conn) WriteMsgValue(code uint64, v any) error {
+	payload, err := rlp.EncodeAppend(c.pbuf[:0], v)
+	if err != nil {
+		return fmt.Errorf("rlpx: encoding message: %w", err)
+	}
+	if cap(payload) <= maxKeepPayload {
+		c.pbuf = payload[:0]
+	}
+	return c.WriteMsg(code, payload)
+}
+
+// maxKeepPayload caps the payload scratch retained between messages;
+// a rare oversized send should not pin its buffer forever.
+const maxKeepPayload = 1 << 17
 
 // ReadMsg receives one message with the standard read deadline.
 func (c *Conn) ReadMsg() (code uint64, payload []byte, err error) {
