@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-crypto bench-crawl bench-wire fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
+.PHONY: all build vet test race bench bench-crypto bench-crawl bench-wire bench-serve fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
 
 all: build vet test
 
@@ -11,7 +11,7 @@ fmt-check:
 	fi
 
 # Reproduce the full CI pipeline (.github/workflows/ci.yml) locally.
-ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos bench-wire bench-crawl
+ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos bench-wire bench-crawl bench-serve
 
 # 30 seconds of coverage-guided fuzzing per untrusted-input decoder.
 # Each target also replays its committed regression corpus first.
@@ -53,6 +53,15 @@ bench-crawl:
 # the committed BENCH_wire.json.
 bench-wire:
 	go run ./cmd/benchwire -out BENCH_wire.ci.json -baseline BENCH_wire.json
+
+# Census-serving gate: the handler/concurrency/soak suite under -race,
+# then a 30 s benchserve run with 10k in-process clients against a
+# snapshot that republishes mid-load. Emits BENCH_serve.ci.json and
+# fails on a >0.1% error rate, a >20% req/s regression, or a p99 more
+# than 20% over the committed BENCH_serve.json.
+bench-serve:
+	go test -race -count=1 ./internal/census
+	go run ./cmd/benchserve -duration 30s -out BENCH_serve.ci.json -baseline BENCH_serve.json
 
 build:
 	go build ./...

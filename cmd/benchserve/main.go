@@ -1,0 +1,418 @@
+// Command benchserve load-tests the census HTTP layer in-process: it
+// builds a deterministic synthetic census population, publishes it
+// through a census.Daemon, then drives the handler with thousands of
+// concurrent clients (default 10,000) calling ServeHTTP directly —
+// no sockets, no file descriptors, pure serving-path cost. A
+// background publisher keeps swapping fresh snapshot epochs during
+// the run, so the measured path is the one production would see:
+// cached reads racing atomic publishes.
+//
+// Each client runs a realistic request mix — cached censuses,
+// If-None-Match revalidations, node lookups, dynamic series slices —
+// and records latency into a shared histogram. The run emits
+// BENCH_serve.json with req/s, p50/p90/p99, and error rate, and with
+// -baseline gates throughput and p99 against the committed figures
+// (tolerance ±20% by default) plus an absolute error-rate budget.
+//
+// Usage:
+//
+//	benchserve [-clients 10000] [-population 5000] [-duration 10s]
+//	           [-republish 250ms] [-seed 42] [-out BENCH_serve.json]
+//	           [-baseline BENCH_serve.json] [-tolerance 0.20]
+//	           [-p99-tolerance 0.20] [-max-error-rate 0.001]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/nodefinder/mlog"
+	"repro/internal/simclock"
+)
+
+// Result is the benchmark artifact schema.
+type Result struct {
+	Clients         int     `json:"clients"`
+	Population      int     `json:"population"`
+	Seed            int64   `json:"seed"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        uint64  `json:"requests"`
+	Errors          uint64  `json:"errors"`
+	ErrorRate       float64 `json:"error_rate"`
+	NotModified     uint64  `json:"not_modified"`
+	Republishes     uint64  `json:"republishes"`
+	ReqPerSec       float64 `json:"req_per_sec"`
+	P50NS           uint64  `json:"p50_ns"`
+	P90NS           uint64  `json:"p90_ns"`
+	P99NS           uint64  `json:"p99_ns"`
+	PeakRSSBytes    int64   `json:"peak_rss_bytes"`
+	GoVersion       string  `json:"go_version"`
+}
+
+var t0 = time.Date(2018, 4, 18, 0, 0, 0, 0, time.UTC)
+
+func main() {
+	var (
+		clients      = flag.Int("clients", 10_000, "concurrent in-process clients")
+		population   = flag.Int("population", 5_000, "synthetic census population size")
+		duration     = flag.Duration("duration", 10*time.Second, "measurement window")
+		republish    = flag.Duration("republish", 250*time.Millisecond, "wall interval between snapshot publishes during the run (0 disables)")
+		seed         = flag.Int64("seed", 42, "population seed")
+		out          = flag.String("out", "BENCH_serve.json", "write the result JSON here ('-' for stdout only)")
+		baseline     = flag.String("baseline", "", "compare req/s and p99 against this committed result")
+		tolerance    = flag.Float64("tolerance", 0.20, "allowed relative req/s regression vs baseline")
+		p99Tolerance = flag.Float64("p99-tolerance", 0.20, "allowed relative p99 growth vs baseline")
+		maxErrRate   = flag.Float64("max-error-rate", 0.001, "fail if error rate exceeds this (0 disables)")
+	)
+	flag.Parse()
+
+	res := run(*clients, *population, *seed, *duration, *republish)
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf) //nolint:errcheck
+	if *out != "-" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	if *maxErrRate > 0 && res.ErrorRate > *maxErrRate {
+		fmt.Fprintf(os.Stderr, "FAIL: error rate %.4f%% exceeds budget %.4f%%\n",
+			res.ErrorRate*100, *maxErrRate*100)
+		failed = true
+	}
+	if *baseline != "" {
+		if err := compareBaseline(res, *baseline, *tolerance, *p99Tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// buildPopulation synthesizes a deterministic measurement log: nodes
+// spread across three epochs with a realistic client/network mix, a
+// churn tail that departs after the first window, and late arrivals.
+func buildPopulation(n int, seed int64, interval time.Duration) []*mlog.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	mainnet := chain.MainnetGenesisHash.Hex()
+	clients := []struct {
+		name   string
+		weight int
+	}{
+		{"Geth/v1.8.10-stable/linux-amd64/go1.10", 40},
+		{"Geth/v1.8.11-stable/linux-amd64/go1.10", 20},
+		{"Geth/v1.8.2-unstable/linux-amd64/go1.10", 7},
+		{"Parity-Ethereum/v1.10.6-stable", 22},
+		{"Parity-Ethereum/v1.11.1-beta", 5},
+		{"cpp-ethereum/v1.3.0", 3},
+		{"EthereumJ/v1.8.1", 3},
+	}
+	var weighted []string
+	for _, c := range clients {
+		for i := 0; i < c.weight; i++ {
+			weighted = append(weighted, c.name)
+		}
+	}
+
+	var entries []*mlog.Entry
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%040x", i)
+		ip := fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(220), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+		client := weighted[rng.Intn(len(weighted))]
+		// 10% never answer; they exist only as failed dials.
+		if rng.Intn(10) == 0 {
+			entries = append(entries, &mlog.Entry{
+				Time: t0.Add(time.Duration(rng.Int63n(int64(interval)))), NodeID: id, IP: ip,
+				ConnType: mlog.ConnDynamicDial, Err: "connection refused",
+			})
+			continue
+		}
+		windows := []int{0}
+		switch {
+		case rng.Intn(4) == 0: // one-shots: first window only
+		case rng.Intn(8) == 0: // late arrivals
+			windows = []int{1, 2}
+		default: // steady population
+			windows = []int{0, 1, 2}
+		}
+		for _, wi := range windows {
+			at := t0.Add(time.Duration(wi)*interval + time.Duration(rng.Int63n(int64(interval))))
+			e := &mlog.Entry{
+				Time: at, NodeID: id, IP: ip, ConnType: mlog.ConnDynamicDial,
+				LatencyUS: 500 + rng.Int63n(400_000),
+				Hello:     &mlog.HelloInfo{Version: 5, ClientName: client, Caps: []string{"eth/63"}},
+			}
+			// 85% are Mainnet; the rest impostors and altnets.
+			switch {
+			case rng.Intn(100) < 85:
+				e.Status = &mlog.StatusInfo{ProtocolVersion: 63, NetworkID: 1, GenesisHash: mainnet,
+					BestBlock: 5_500_000 + uint64(rng.Intn(60_000))}
+				e.DAOFork = "supported"
+			case rng.Intn(2) == 0:
+				e.Status = &mlog.StatusInfo{ProtocolVersion: 63, NetworkID: uint64(2 + rng.Intn(5000)),
+					GenesisHash: mainnet}
+				e.DAOFork = "unknown"
+			default:
+				e.Status = &mlog.StatusInfo{ProtocolVersion: 63, NetworkID: uint64(2 + rng.Intn(50)),
+					GenesisHash: fmt.Sprintf("%064x", rng.Int63())}
+			}
+			entries = append(entries, e)
+		}
+	}
+	return entries
+}
+
+// nullWriter is a reusable ResponseWriter that discards bodies while
+// keeping status and headers, so 10k clients cost no response
+// buffers.
+type nullWriter struct {
+	h      http.Header
+	status int
+	bytes  int64
+}
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) WriteHeader(c int)           { w.status = c }
+func (w *nullWriter) Write(p []byte) (int, error) { w.bytes += int64(len(p)); return len(p), nil }
+func (w *nullWriter) reset() {
+	clear(w.h)
+	w.status = http.StatusOK
+}
+
+func run(clients, population int, seed int64, duration, republish time.Duration) *Result {
+	clk := simclock.NewSimulated(t0)
+	reg := metrics.New()
+	d := census.NewDaemon(census.DaemonConfig{
+		Clock:   clk,
+		Geo:     geo.NewDB(),
+		Metrics: reg,
+	})
+	entries := buildPopulation(population, seed, census.DefaultInterval)
+	for _, e := range entries {
+		d.Record(e)
+	}
+	d.Start()
+	clk.Advance(4 * census.DefaultInterval) // three finalized windows served
+	handler := census.NewHandler(census.ServerConfig{Source: d, Metrics: reg})
+	ids := d.Current().NodeIDs()
+
+	latency := reg.Histogram("benchserve.latency_ns")
+	var requests, errors, notModified atomic.Uint64
+
+	cachedTargets := []string{
+		"/", "/v1/summary", "/v1/clients", "/v1/geo", "/v1/networks",
+		"/v1/series/churn", "/v1/series/arrivals",
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			w := &nullWriter{h: make(http.Header, 8)}
+			req := &http.Request{
+				Method: http.MethodGet,
+				URL:    &url.URL{Path: "/"},
+				Proto:  "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+				Header: make(http.Header, 2),
+				Host:   "bench.local",
+				Body:   http.NoBody,
+			}
+			var etag string
+			<-start
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// A real client yields to the network between requests;
+				// an in-process one must yield to the scheduler, or 10k
+				// spinning goroutines starve the publisher (and the
+				// ticker) for entire scheduling quanta.
+				if i%4 == 0 {
+					runtime.Gosched()
+				}
+				req.Header.Del("If-None-Match")
+				req.URL.RawQuery = ""
+				switch p := rng.Intn(100); {
+				case p < 60: // cached census reads
+					req.URL.Path = cachedTargets[rng.Intn(len(cachedTargets))]
+				case p < 80: // poll with revalidation
+					req.URL.Path = "/v1/summary"
+					if etag != "" {
+						req.Header.Set("If-None-Match", etag)
+					}
+				case p < 95: // node lookups
+					req.URL.Path = "/v1/nodes/" + ids[rng.Intn(len(ids))]
+				default: // dynamic series slice
+					req.URL.Path = "/v1/series/churn"
+					req.URL.RawQuery = "last=3"
+				}
+				w.reset()
+				began := time.Now()
+				handler.ServeHTTP(w, req)
+				latency.Observe(uint64(time.Since(began)))
+				requests.Add(1)
+				switch {
+				case w.status == http.StatusNotModified:
+					notModified.Add(1)
+				case w.status >= 400:
+					errors.Add(1)
+				}
+				if t := w.h.Get("ETag"); t != "" {
+					etag = t
+				}
+			}
+		}(c)
+	}
+
+	// The publisher keeps the snapshot moving during the measurement:
+	// fresh entries, new epoch, atomic swap — while every client reads.
+	var republishes uint64
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		if republish <= 0 {
+			return
+		}
+		tick := time.NewTicker(republish)
+		defer tick.Stop()
+		rng := rand.New(rand.NewSource(seed + 1_000_003))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				d.Record(&mlog.Entry{
+					Time: clk.Now(), NodeID: fmt.Sprintf("live%032x", republishes),
+					IP:       fmt.Sprintf("9.9.%d.%d", rng.Intn(256), 1+rng.Intn(254)),
+					ConnType: mlog.ConnDynamicDial,
+					Hello:    &mlog.HelloInfo{Version: 5, ClientName: "Geth/v1.8.11-stable", Caps: []string{"eth/63"}},
+				})
+				clk.Advance(census.DefaultInterval)
+				republishes++
+			}
+		}
+	}()
+
+	began := time.Now()
+	close(start)
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	<-pubDone
+	elapsed := time.Since(began)
+	d.Stop()
+
+	total := requests.Load()
+	errs := errors.Load()
+	q := latency.Snapshot().Quantiles
+	res := &Result{
+		Clients:         clients,
+		Population:      population,
+		Seed:            seed,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        total,
+		Errors:          errs,
+		NotModified:     notModified.Load(),
+		Republishes:     republishes,
+		ReqPerSec:       float64(total) / elapsed.Seconds(),
+		P50NS:           q.P50,
+		P90NS:           q.P90,
+		P99NS:           q.P99,
+		PeakRSSBytes:    peakRSS(),
+		GoVersion:       runtime.Version(),
+	}
+	if total > 0 {
+		res.ErrorRate = float64(errs) / float64(total)
+	}
+	return res
+}
+
+// compareBaseline enforces the serving contract against the committed
+// result: throughput may not regress beyond tol, p99 may not grow
+// beyond p99Tol; improvements beyond tolerance nudge a refresh.
+func compareBaseline(res *Result, path string, tol, p99Tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Result
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if base.ReqPerSec <= 0 {
+		return fmt.Errorf("baseline %s has no req_per_sec", path)
+	}
+	ratio := res.ReqPerSec / base.ReqPerSec
+	switch {
+	case ratio < 1-tol:
+		return fmt.Errorf("req/s %.0f is %.0f%% below baseline %.0f (tolerance %.0f%%)",
+			res.ReqPerSec, (1-ratio)*100, base.ReqPerSec, tol*100)
+	case ratio > 1+tol:
+		fmt.Fprintf(os.Stderr, "note: req/s %.0f beats baseline %.0f by %.0f%% — refresh BENCH_serve.json\n",
+			res.ReqPerSec, base.ReqPerSec, (ratio-1)*100)
+	}
+	if base.P99NS > 0 && float64(res.P99NS) > float64(base.P99NS)*(1+p99Tol) {
+		return fmt.Errorf("p99 %dns exceeds baseline %dns by more than %.0f%%",
+			res.P99NS, base.P99NS, p99Tol*100)
+	}
+	return nil
+}
+
+// peakRSS reads VmHWM (the process's high-water resident set) from
+// /proc/self/status; 0 on platforms without procfs.
+func peakRSS() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

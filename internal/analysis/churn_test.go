@@ -50,3 +50,46 @@ func TestChurnEmpty(t *testing.T) {
 		t.Fatal("non-zero churn from empty input")
 	}
 }
+
+// TestChurnFlapWithinGap: probes separated by less than SessionGap
+// belong to one session even when the node briefly refused a dial in
+// between — the census daemon's per-interval flapping must not
+// fragment the session statistics.
+func TestChurnFlapWithinGap(t *testing.T) {
+	js := []string{"eth/63"}
+	var entries []*mlog.Entry
+	entries = append(entries, helloEntry("f", "1.0.0.9", "Geth/v1", js, t0))
+	// A failed dial mid-session is not a responsive observation and
+	// must not split or extend anything.
+	failed := entry("f", "1.0.0.9", t0.Add(20*time.Minute))
+	failed.Err = "connection refused"
+	entries = append(entries, failed)
+	entries = append(entries, helloEntry("f", "1.0.0.9", "Geth/v1", js, t0.Add(40*time.Minute)))
+
+	res := Churn(Aggregate(entries))
+	if res.SessionCDF.Len() != 1 {
+		t.Fatalf("sessions: %d, want 1 (flap within SessionGap)", res.SessionCDF.Len())
+	}
+	if got := res.SessionCDF.P(0.5); got != 40 {
+		t.Errorf("session length %f minutes, want 40", got)
+	}
+	if res.ReturningFraction != 0 {
+		t.Errorf("returning %f, want 0", res.ReturningFraction)
+	}
+}
+
+// TestChurnIdentityReuseNewVersion: one identity observed under two
+// client versions is still one identity in the churn population; the
+// version change alone does not open a new session.
+func TestChurnIdentityReuseNewVersion(t *testing.T) {
+	js := []string{"eth/63"}
+	entries := []*mlog.Entry{
+		helloEntry("u", "1.0.0.1", "Geth/v1.8.10-stable", js, t0),
+		helloEntry("u", "1.0.0.1", "Geth/v1.8.11-stable", js, t0.Add(30*time.Minute)),
+	}
+	res := Churn(Aggregate(entries))
+	if res.SessionCDF.Len() != 1 || res.OneShotFraction != 0 {
+		t.Fatalf("sessions=%d oneShot=%f, want one continuous session",
+			res.SessionCDF.Len(), res.OneShotFraction)
+	}
+}

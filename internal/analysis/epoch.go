@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/nodefinder/mlog"
+)
+
+// Epoch snapshot-diff logic: the longitudinal census daemon
+// (internal/census) slices the measurement log into fixed intervals
+// ("epochs") and diffs consecutive intervals' live-identity sets into
+// arrival/departure/change series. The functions here are pure over
+// mlog entries, so a served series can be reconciled bit-for-bit
+// against the raw log: the daemon and the auditor run the same code
+// over the same records.
+
+// EpochPoint is one finalized interval of the churn series.
+type EpochPoint struct {
+	// Epoch is the zero-based window index from the series start.
+	Epoch int `json:"epoch"`
+	// Start/End bound the window: [Start, End).
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Alive is the number of identities responsive in the window.
+	Alive int `json:"alive"`
+	// Arrived counts identities responsive in this window but not the
+	// previous one (for epoch 0: all live identities).
+	Arrived int `json:"arrived"`
+	// Departed counts identities responsive in the previous window
+	// but silent in this one.
+	Departed int `json:"departed"`
+	// Changed counts identities live in both windows whose observable
+	// fingerprint (IP or client version) changed between them —
+	// identity reuse with a new ENR address or an upgraded client.
+	Changed int `json:"changed"`
+}
+
+// LiveFingerprints scans entries and returns, for every identity with
+// a responsive record (HELLO or DISCONNECT, the paper's "responding"
+// criterion) in [since, until), a fingerprint of how it last
+// presented itself in the window: "ip|clientName" when a HELLO was
+// decoded, bare "ip" otherwise. Later entries win; among equal
+// timestamps, later log order wins, so the result is deterministic
+// for a fixed entry sequence.
+func LiveFingerprints(entries []*mlog.Entry, since, until time.Time) map[string]string {
+	out := map[string]string{}
+	latest := map[string]time.Time{}
+	for _, e := range entries {
+		if e.NodeID == "" || e.Time.Before(since) || !e.Time.Before(until) {
+			continue
+		}
+		if e.Hello == nil && e.DisconnectReason == nil {
+			continue
+		}
+		if t, ok := latest[e.NodeID]; ok && e.Time.Before(t) {
+			continue
+		}
+		latest[e.NodeID] = e.Time
+		fp := e.IP
+		if e.Hello != nil {
+			fp += "|" + e.Hello.ClientName
+		}
+		out[e.NodeID] = fp
+	}
+	return out
+}
+
+// DiffEpoch compares consecutive live-fingerprint sets: identities in
+// cur but not prev arrived, identities in prev but not cur departed,
+// and identities in both whose fingerprint differs changed.
+func DiffEpoch(prev, cur map[string]string) (arrived, departed, changed int) {
+	for id, fp := range cur {
+		pfp, ok := prev[id]
+		switch {
+		case !ok:
+			arrived++
+		case pfp != fp:
+			changed++
+		}
+	}
+	for id := range prev {
+		if _, ok := cur[id]; !ok {
+			departed++
+		}
+	}
+	return arrived, departed, changed
+}
+
+// EpochSeries slices entries into `epochs` fixed intervals from start
+// and produces the full churn series. Window i covers
+// [start+i*interval, start+(i+1)*interval). The first window diffs
+// against an empty set, so a crawl's opening burst shows up as
+// arrivals; an empty first window yields an all-zero point, not an
+// error.
+func EpochSeries(entries []*mlog.Entry, start time.Time, interval time.Duration, epochs int) []EpochPoint {
+	if epochs <= 0 || interval <= 0 {
+		return nil
+	}
+	points := make([]EpochPoint, 0, epochs)
+	prev := map[string]string{}
+	for i := 0; i < epochs; i++ {
+		since := start.Add(time.Duration(i) * interval)
+		until := start.Add(time.Duration(i+1) * interval)
+		cur := LiveFingerprints(entries, since, until)
+		arrived, departed, changed := DiffEpoch(prev, cur)
+		points = append(points, EpochPoint{
+			Epoch:    i,
+			Start:    since,
+			End:      until,
+			Alive:    len(cur),
+			Arrived:  arrived,
+			Departed: departed,
+			Changed:  changed,
+		})
+		prev = cur
+	}
+	return points
+}

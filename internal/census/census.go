@@ -1,0 +1,440 @@
+// Package census turns the NodeFinder measurement log into a served
+// longitudinal census: a daemon slices the log into fixed epochs on a
+// simclock tick, builds an immutable Snapshot of the ecosystem
+// censuses (§6) plus the epoch churn series, and an HTTP layer serves
+// the snapshot without ever blocking the daemon.
+//
+// The serving design is read-mostly and allocation-bounded: every
+// endpoint's response body is marshaled once at publish time and
+// stored inside the Snapshot, snapshots swap atomically, and handlers
+// write the pre-built bytes. Readers never take a lock and never
+// marshal on the hot path.
+package census
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/nodefinder/mlog"
+)
+
+// Cached endpoint payload indices inside a Snapshot.
+const (
+	epIndex = iota
+	epSummary
+	epClients
+	epGeo
+	epNetworks
+	epSeriesChurn
+	epSeriesArrivals
+	numEndpoints
+)
+
+// Row caps keep cached payloads bounded no matter how adversarial the
+// population is (the paper saw 18k distinct genesis hashes). Headline
+// distinct counts are always served alongside, so truncation is
+// visible, never silent.
+const (
+	maxShareRows   = 20
+	maxVersionRows = 12
+)
+
+// share is analysis.Share with JSON tags for serving.
+type share struct {
+	Key      string  `json:"key"`
+	Count    int     `json:"count"`
+	Fraction float64 `json:"fraction"`
+}
+
+func toShares(rows []analysis.Share, max int) []share {
+	if len(rows) > max {
+		rows = rows[:max]
+	}
+	out := make([]share, len(rows))
+	for i, r := range rows {
+		out[i] = share{Key: r.Key, Count: r.Count, Fraction: r.Fraction}
+	}
+	return out
+}
+
+// rankCounts is analysis' rank ordering for locally-computed count
+// maps: count descending, ties by key.
+func rankCounts(counts map[string]int) []share {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	rows := make([]share, 0, len(counts))
+	for k, c := range counts {
+		f := 0.0
+		if total > 0 {
+			f = float64(c) / float64(total)
+		}
+		rows = append(rows, share{Key: k, Count: c, Fraction: f})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	return rows
+}
+
+// Totals are the headline population counts of one snapshot.
+type Totals struct {
+	// Identities is every node ID the log has seen.
+	Identities int `json:"identities"`
+	// Responsive answered with a HELLO or DISCONNECT at least once.
+	Responsive int `json:"responsive"`
+	// DEVp2p completed the DEVp2p handshake (decoded HELLO).
+	DEVp2p int `json:"devp2p"`
+	// WithStatus also completed the eth STATUS exchange.
+	WithStatus int `json:"withStatus"`
+	// Mainnet are verified Mainnet nodes (network 1, Mainnet genesis,
+	// pro-fork DAO check).
+	Mainnet int `json:"mainnet"`
+}
+
+// NodeSummary is the per-identity lookup record served by
+// /v1/nodes/{id}.
+type NodeSummary struct {
+	ID          string    `json:"id"`
+	IP          string    `json:"ip,omitempty"`
+	Country     string    `json:"country,omitempty"`
+	AS          string    `json:"as,omitempty"`
+	Cloud       bool      `json:"cloud,omitempty"`
+	Responsive  bool      `json:"responsive"`
+	FirstSeen   time.Time `json:"firstSeen"`
+	LastSeen    time.Time `json:"lastSeen"`
+	Client      string    `json:"client,omitempty"`
+	Caps        []string  `json:"caps,omitempty"`
+	NetworkID   uint64    `json:"networkID,omitempty"`
+	GenesisHash string    `json:"genesisHash,omitempty"`
+	BestBlock   uint64    `json:"bestBlock,omitempty"`
+	DAOFork     string    `json:"daoFork,omitempty"`
+	LatencyMS   float64   `json:"latencyMS,omitempty"`
+	Mainnet     bool      `json:"mainnet"`
+	Entries     int       `json:"entries"`
+}
+
+// Snapshot is one immutable published census. All exported fields and
+// the cached payloads are written once by BuildSnapshot and never
+// mutated afterwards, so a *Snapshot may be shared across any number
+// of concurrent readers without synchronization.
+type Snapshot struct {
+	// Epoch counts published snapshots, starting at 0 when the daemon
+	// starts. It keys every response cache: a new epoch is the only
+	// event that invalidates a cached body.
+	Epoch uint64
+	// Time is the snapshot's build time, Start the series origin.
+	Time  time.Time
+	Start time.Time
+	// Interval is the epoch width.
+	Interval time.Duration
+	Totals   Totals
+	// Points is the finalized churn series: one interval behind Time,
+	// so every in-flight dial of a finalized window has landed.
+	Points []analysis.EpochPoint
+
+	nodes  map[string]*NodeSummary
+	ids    []string
+	cached [numEndpoints][]byte
+	etag   string
+}
+
+// ETag returns the strong entity tag shared by every cached payload
+// of this snapshot.
+func (s *Snapshot) ETag() string { return s.etag }
+
+// Node returns the summary for a node ID, or nil.
+func (s *Snapshot) Node(id string) *NodeSummary { return s.nodes[id] }
+
+// NodeIDs returns all known IDs in sorted order. The slice is shared
+// and must not be mutated.
+func (s *Snapshot) NodeIDs() []string { return s.ids }
+
+// Payload returns the pre-marshaled body for a cached endpoint index.
+func (s *Snapshot) Payload(ep int) []byte { return s.cached[ep] }
+
+// Endpoints in the order served by the index payload.
+var endpointPaths = []string{
+	"/v1/summary",
+	"/v1/clients",
+	"/v1/geo",
+	"/v1/networks",
+	"/v1/series/churn",
+	"/v1/series/arrivals",
+	"/v1/nodes/{id}",
+	"/metrics",
+}
+
+// BuildParams feed one BuildSnapshot call.
+type BuildParams struct {
+	Epoch uint64
+	// Now is the build time; Start/Interval define the epoch grid.
+	Now      time.Time
+	Start    time.Time
+	Interval time.Duration
+	// Entries is the cumulative measurement log, in record order.
+	Entries []*mlog.Entry
+	// Geo resolves node IPs; nil disables geography.
+	Geo *geo.DB
+	// MaxPoints, when positive, bounds the served series to the most
+	// recent windows.
+	MaxPoints int
+}
+
+type summaryPayload struct {
+	Epoch            uint64    `json:"epoch"`
+	Time             time.Time `json:"time"`
+	Start            time.Time `json:"start"`
+	IntervalSeconds  float64   `json:"intervalSeconds"`
+	Totals           Totals    `json:"totals"`
+	EpochsFinalized  int       `json:"epochsFinalized"`
+	DistinctNetworks int       `json:"distinctNetworks"`
+	DistinctGenesis  int       `json:"distinctGenesis"`
+}
+
+type versionPayload struct {
+	Client      string  `json:"client"`
+	Total       int     `json:"total"`
+	StableShare float64 `json:"stableShare"`
+	Top         []share `json:"top"`
+}
+
+type clientsPayload struct {
+	Epoch    uint64           `json:"epoch"`
+	Clients  []share          `json:"clients"`
+	Services []share          `json:"services"`
+	Versions []versionPayload `json:"versions"`
+}
+
+type geoPayload struct {
+	Epoch        uint64  `json:"epoch"`
+	Countries    []share `json:"countries"`
+	ASes         []share `json:"ases"`
+	Top8ASShare  float64 `json:"top8ASShare"`
+	Top8AllCloud bool    `json:"top8AllCloud"`
+}
+
+type networksPayload struct {
+	Epoch                   uint64  `json:"epoch"`
+	Networks                []share `json:"networks"`
+	GenesisHashes           []share `json:"genesisHashes"`
+	DistinctNetworks        int     `json:"distinctNetworks"`
+	DistinctGenesis         int     `json:"distinctGenesis"`
+	SinglePeerNetworks      int     `json:"singlePeerNetworks"`
+	MainnetGenesisImpostors int     `json:"mainnetGenesisImpostors"`
+	Forks                   []share `json:"forks"`
+}
+
+type churnPayload struct {
+	Epoch           uint64                `json:"epoch"`
+	Start           time.Time             `json:"start"`
+	IntervalSeconds float64               `json:"intervalSeconds"`
+	Points          []analysis.EpochPoint `json:"points"`
+}
+
+// arrivalPoint is the arrivals view of one epoch window.
+type arrivalPoint struct {
+	Epoch   int       `json:"epoch"`
+	Start   time.Time `json:"start"`
+	Arrived int       `json:"arrived"`
+	Alive   int       `json:"alive"`
+}
+
+type arrivalsPayload struct {
+	Epoch  uint64         `json:"epoch"`
+	Points []arrivalPoint `json:"points"`
+}
+
+type indexPayload struct {
+	Service   string   `json:"service"`
+	Epoch     uint64   `json:"epoch"`
+	Endpoints []string `json:"endpoints"`
+}
+
+// BuildSnapshot aggregates the log and marshals every endpoint
+// payload eagerly, so serving is a byte copy.
+func BuildSnapshot(p BuildParams) *Snapshot {
+	nodes := analysis.Aggregate(p.Entries)
+
+	s := &Snapshot{
+		Epoch:    p.Epoch,
+		Time:     p.Now,
+		Start:    p.Start,
+		Interval: p.Interval,
+		etag:     fmt.Sprintf("%q", fmt.Sprintf("census-%d", p.Epoch)),
+	}
+
+	// Finalized windows lag the build time by one interval: entries
+	// carry the dial's start time but land in the log at dial end, so
+	// the newest window may still be filling. One interval (30 min
+	// nominal) dwarfs the bounded dial timeout, guaranteeing a
+	// finalized window's entry set is complete — this is what lets a
+	// served series reconcile exactly against the raw log.
+	finalized := 0
+	if p.Interval > 0 {
+		finalized = int(p.Now.Sub(p.Start)/p.Interval) - 1
+		if finalized < 0 {
+			finalized = 0
+		}
+	}
+	s.Points = analysis.EpochSeries(p.Entries, p.Start, p.Interval, finalized)
+	if p.MaxPoints > 0 && len(s.Points) > p.MaxPoints {
+		s.Points = s.Points[len(s.Points)-p.MaxPoints:]
+	}
+
+	for _, o := range nodes {
+		s.Totals.Identities++
+		if o.Responsive {
+			s.Totals.Responsive++
+		}
+		if len(o.Caps) > 0 {
+			s.Totals.DEVp2p++
+		}
+		if o.HasStatus {
+			s.Totals.WithStatus++
+		}
+		if analysis.IsMainnet(o) {
+			s.Totals.Mainnet++
+		}
+	}
+
+	s.nodes = make(map[string]*NodeSummary, len(nodes))
+	s.ids = make([]string, 0, len(nodes))
+	for id, o := range nodes {
+		ns := &NodeSummary{
+			ID:         id,
+			IP:         o.IP,
+			Responsive: o.Responsive,
+			FirstSeen:  o.FirstSeen,
+			LastSeen:   o.LastSeen,
+			Client:     o.ClientName,
+			Caps:       o.Caps,
+			DAOFork:    o.DAOFork,
+			Mainnet:    analysis.IsMainnet(o),
+			Entries:    len(o.Entries),
+			LatencyMS:  float64(o.LatencyUS) / 1000,
+		}
+		if o.HasStatus {
+			ns.NetworkID = o.NetworkID
+			ns.GenesisHash = o.GenesisHash
+			ns.BestBlock = o.BestBlock
+		}
+		if p.Geo != nil {
+			if ip := net.ParseIP(o.IP); ip != nil {
+				ns.Country = string(p.Geo.Country(ip))
+				as := p.Geo.ASOf(ip)
+				ns.AS = as.Name
+				ns.Cloud = as.Cloud
+			}
+		}
+		s.nodes[id] = ns
+		s.ids = append(s.ids, id)
+	}
+	sort.Strings(s.ids)
+
+	nets := analysis.Networks(nodes)
+
+	s.cached[epSummary] = marshal(summaryPayload{
+		Epoch:            p.Epoch,
+		Time:             p.Now,
+		Start:            p.Start,
+		IntervalSeconds:  p.Interval.Seconds(),
+		Totals:           s.Totals,
+		EpochsFinalized:  len(s.Points),
+		DistinctNetworks: nets.DistinctNetworks,
+		DistinctGenesis:  nets.DistinctGenesis,
+	})
+
+	mainnet := analysis.MainnetSubset(nodes)
+	s.cached[epClients] = marshal(clientsPayload{
+		Epoch:    p.Epoch,
+		Clients:  toShares(analysis.ClientCensus(mainnet), maxShareRows),
+		Services: toShares(analysis.ServiceCensus(nodes), maxShareRows),
+		Versions: []versionPayload{
+			versionRows(mainnet, "Geth"),
+			versionRows(mainnet, "Parity"),
+		},
+	})
+
+	gp := geoPayload{Epoch: p.Epoch, Countries: []share{}, ASes: []share{}}
+	if p.Geo != nil {
+		gc := analysis.Geography(nodes, p.Geo)
+		gp.Countries = toShares(gc.Countries, maxShareRows)
+		gp.ASes = toShares(gc.ASes, maxShareRows)
+		gp.Top8ASShare = gc.Top8ASShare
+		gp.Top8AllCloud = gc.Top8AllCloud
+	}
+	s.cached[epGeo] = marshal(gp)
+
+	forks := map[string]int{}
+	for _, o := range nodes {
+		if !o.HasStatus {
+			continue
+		}
+		stance := o.DAOFork
+		if stance == "" {
+			stance = "unchecked"
+		}
+		forks[stance]++
+	}
+	s.cached[epNetworks] = marshal(networksPayload{
+		Epoch:                   p.Epoch,
+		Networks:                toShares(nets.Networks, maxShareRows),
+		GenesisHashes:           toShares(nets.GenesisHashes, maxShareRows),
+		DistinctNetworks:        nets.DistinctNetworks,
+		DistinctGenesis:         nets.DistinctGenesis,
+		SinglePeerNetworks:      nets.SinglePeerNetworks,
+		MainnetGenesisImpostors: nets.MainnetGenesisImpostors,
+		Forks:                   rankCounts(forks),
+	})
+
+	s.cached[epSeriesChurn] = marshal(churnPayload{
+		Epoch:           p.Epoch,
+		Start:           p.Start,
+		IntervalSeconds: p.Interval.Seconds(),
+		Points:          s.Points,
+	})
+
+	arrivals := make([]arrivalPoint, len(s.Points))
+	for i, pt := range s.Points {
+		arrivals[i] = arrivalPoint{Epoch: pt.Epoch, Start: pt.Start, Arrived: pt.Arrived, Alive: pt.Alive}
+	}
+	s.cached[epSeriesArrivals] = marshal(arrivalsPayload{Epoch: p.Epoch, Points: arrivals})
+
+	s.cached[epIndex] = marshal(indexPayload{
+		Service:   "censusd",
+		Epoch:     p.Epoch,
+		Endpoints: endpointPaths,
+	})
+
+	return s
+}
+
+func versionRows(nodes map[string]*analysis.NodeObservation, client string) versionPayload {
+	vc := analysis.Versions(nodes, client)
+	return versionPayload{
+		Client:      vc.Client,
+		Total:       vc.Total,
+		StableShare: vc.StableShare,
+		Top:         toShares(vc.Versions, maxVersionRows),
+	}
+}
+
+// marshal encodes a payload struct built entirely from local types;
+// encoding cannot fail, so a failure is a programming error.
+func marshal(v any) []byte {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic("census: marshal: " + err.Error())
+	}
+	return append(buf, '\n')
+}

@@ -1,0 +1,293 @@
+package census
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// SnapshotSource yields the snapshot to serve; *Daemon implements it.
+// Current must be safe for concurrent use and may return nil before
+// the first publish (served as 503).
+type SnapshotSource interface {
+	Current() *Snapshot
+}
+
+// DefaultMaxBodyBytes bounds request bodies. Every endpoint is a GET;
+// a body at all is suspect, a large one is rejected outright.
+const DefaultMaxBodyBytes = 4 << 10
+
+// ServerConfig configures the HTTP layer.
+type ServerConfig struct {
+	Source SnapshotSource
+	// Metrics is served by /metrics and also receives the server's own
+	// request instruments; nil disables both.
+	Metrics *metrics.Registry
+	// Clock times request handling for the latency histogram; nil
+	// disables latency observation (counters still work).
+	Clock simclock.Clock
+	// MaxBodyBytes overrides DefaultMaxBodyBytes when positive.
+	MaxBodyBytes int64
+}
+
+// NewHandler builds the census HTTP API:
+//
+//	GET /                   index (endpoint list)
+//	GET /v1/summary         headline totals
+//	GET /v1/clients         client/service/version censuses
+//	GET /v1/geo             country and AS distributions
+//	GET /v1/networks        network/genesis/fork censuses
+//	GET /v1/series/churn    epoch churn series (?last=N)
+//	GET /v1/series/arrivals arrivals view of the series (?last=N)
+//	GET /v1/nodes/{id}      per-identity lookup
+//	GET /metrics            live instrument snapshot
+//
+// Static endpoints serve bytes pre-marshaled at publish time, tagged
+// with a strong ETag derived from the snapshot epoch; If-None-Match
+// turns a poll against an unchanged epoch into a 304 with no body.
+// Handlers never lock and never marshal on the cached path.
+func NewHandler(cfg ServerConfig) http.Handler {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &server{
+		src:         cfg.Source,
+		reg:         cfg.Metrics,
+		clock:       cfg.Clock,
+		maxBody:     cfg.MaxBodyBytes,
+		requests:    cfg.Metrics.CounterVec("census.http_requests"),
+		statuses:    cfg.Metrics.CounterVec("census.http_status"),
+		notModified: cfg.Metrics.Counter("census.http_not_modified"),
+		latencyUS:   cfg.Metrics.Histogram("census.http_latency_us"),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/summary", s.get("summary", s.cachedPayload(epSummary)))
+	mux.HandleFunc("/v1/clients", s.get("clients", s.cachedPayload(epClients)))
+	mux.HandleFunc("/v1/geo", s.get("geo", s.cachedPayload(epGeo)))
+	mux.HandleFunc("/v1/networks", s.get("networks", s.cachedPayload(epNetworks)))
+	mux.HandleFunc("/v1/series/churn", s.get("series_churn", s.series(epSeriesChurn)))
+	mux.HandleFunc("/v1/series/arrivals", s.get("series_arrivals", s.series(epSeriesArrivals)))
+	mux.HandleFunc("/v1/nodes/{id}", s.get("node", s.node))
+	mux.HandleFunc("/metrics", s.get("metrics", s.metrics))
+	mux.HandleFunc("/", s.get("index", s.index))
+	s.mux = mux
+	return s
+}
+
+type server struct {
+	src     SnapshotSource
+	reg     *metrics.Registry
+	clock   simclock.Clock
+	maxBody int64
+	mux     *http.ServeMux
+
+	requests    *metrics.CounterVec
+	statuses    *metrics.CounterVec
+	notModified *metrics.Counter
+	latencyUS   *metrics.Histogram
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter records the status code for the per-class counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// get wraps an endpoint handler with the shared request policy:
+// per-endpoint accounting, method gating (GET/HEAD only), and request
+// body bounds. The endpoint counter is resolved once at construction,
+// not per request.
+func (s *server) get(label string, h http.HandlerFunc) http.HandlerFunc {
+	count := s.requests.WithLabel(label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		count.Inc()
+		var began time.Time
+		timed := s.clock != nil
+		if timed {
+			began = s.clock.Now()
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		switch {
+		case r.Method != http.MethodGet && r.Method != http.MethodHead:
+			sw.Header().Set("Allow", "GET, HEAD")
+			s.writeError(sw, http.StatusMethodNotAllowed, "method not allowed")
+		case r.ContentLength > s.maxBody:
+			s.writeError(sw, http.StatusRequestEntityTooLarge, "request body too large")
+		default:
+			if r.Body != nil && r.Body != http.NoBody {
+				r.Body = http.MaxBytesReader(sw, r.Body, s.maxBody)
+			}
+			h(sw, r)
+		}
+		s.statuses.WithLabel(statusClass(sw.status)).Inc()
+		if timed {
+			s.latencyUS.Observe(uint64(s.clock.Since(began) / time.Microsecond))
+		}
+	}
+}
+
+// cachedPayload serves a snapshot's pre-marshaled body for one
+// endpoint index: a header write and one byte copy, no locks, no
+// allocation beyond the ResponseWriter's own.
+func (s *server) cachedPayload(ep int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := s.src.Current()
+		if snap == nil {
+			s.writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+			return
+		}
+		s.writeCached(w, r, snap, snap.cached[ep])
+	}
+}
+
+func (s *server) writeCached(w http.ResponseWriter, r *http.Request, snap *Snapshot, body []byte) {
+	h := w.Header()
+	h.Set("ETag", snap.etag)
+	h.Set("X-Census-Epoch", strconv.FormatUint(snap.Epoch, 10))
+	if r.Header.Get("If-None-Match") == snap.etag {
+		s.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(body)
+	}
+}
+
+// series serves the churn/arrivals payloads. Without a query it is a
+// pure cached-bytes path; ?last=N re-slices to the most recent N
+// windows and marshals per request (the one deliberately dynamic
+// view).
+func (s *server) series(ep int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := s.src.Current()
+		if snap == nil {
+			s.writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+			return
+		}
+		q := r.URL.Query()
+		if !q.Has("last") {
+			s.writeCached(w, r, snap, snap.cached[ep])
+			return
+		}
+		last, err := strconv.Atoi(q.Get("last"))
+		if err != nil || last < 0 {
+			s.writeError(w, http.StatusBadRequest, "last must be a non-negative integer")
+			return
+		}
+		points := snap.Points
+		if last < len(points) {
+			points = points[len(points)-last:]
+		}
+		switch ep {
+		case epSeriesChurn:
+			s.writeJSON(w, snap, churnPayload{
+				Epoch:           snap.Epoch,
+				Start:           snap.Start,
+				IntervalSeconds: snap.Interval.Seconds(),
+				Points:          points,
+			})
+		default:
+			arrivals := make([]arrivalPoint, len(points))
+			for i, pt := range points {
+				arrivals[i] = arrivalPoint{Epoch: pt.Epoch, Start: pt.Start, Arrived: pt.Arrived, Alive: pt.Alive}
+			}
+			s.writeJSON(w, snap, arrivalsPayload{Epoch: snap.Epoch, Points: arrivals})
+		}
+	}
+}
+
+// node serves the per-identity lookup.
+func (s *server) node(w http.ResponseWriter, r *http.Request) {
+	snap := s.src.Current()
+	if snap == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		return
+	}
+	id := r.PathValue("id")
+	ns := snap.Node(id)
+	if ns == nil {
+		s.writeError(w, http.StatusNotFound, "unknown node")
+		return
+	}
+	s.writeJSON(w, snap, ns)
+}
+
+// metrics serves the live registry — always marshal-on-demand, since
+// instruments move between snapshots.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, nil, s.reg.Snapshot())
+}
+
+// index serves the endpoint list at exactly "/"; anything else that
+// fell through the mux is a JSON 404.
+func (s *server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		s.writeError(w, http.StatusNotFound, "no such endpoint")
+		return
+	}
+	snap := s.src.Current()
+	if snap == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		return
+	}
+	s.writeCached(w, r, snap, snap.cached[epIndex])
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, snap *Snapshot, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encode failed")
+		return
+	}
+	buf = append(buf, '\n')
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if snap != nil {
+		h.Set("X-Census-Epoch", strconv.FormatUint(snap.Epoch, 10))
+	}
+	h.Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+}
+
+func (s *server) writeError(w http.ResponseWriter, code int, msg string) {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	body = append(body, '\n')
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

@@ -32,6 +32,10 @@ func RepoAnalyzers(module string) []Analyzer {
 				module + "/internal/faultnet",
 				module + "/internal/ethnode",
 				module + "/internal/rlpx",
+				// The census daemon and HTTP layer tick and timestamp on
+				// an injected clock so whole-crawl soak tests (and the
+				// served epoch grid) are deterministic in virtual time.
+				module + "/internal/census",
 			},
 			// Whole files excused from clock injection, each with the
 			// reason printed when -v is set. Individual lines elsewhere
@@ -72,6 +76,7 @@ func RepoAnalyzers(module string) []Analyzer {
 				module + "/internal/ethnode",
 				module + "/internal/faultnet",
 				module + "/internal/simnet",
+				module + "/internal/census",
 			},
 		},
 		&DeadlineFlow{

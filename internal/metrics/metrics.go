@@ -144,6 +144,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), Count: n})
 	}
+	s.Quantiles = s.Summary()
 	return s
 }
 
@@ -159,11 +160,32 @@ func bucketUpper(i int) uint64 {
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram. Only
-// non-empty buckets are materialized.
+// non-empty buckets are materialized. Quantiles carries the standard
+// p50/p90/p99 summary so JSON consumers (the census /metrics endpoint,
+// benchserve's gate math) never re-derive bucket arithmetic.
 type HistogramSnapshot struct {
-	Count   uint64   `json:"count"`
-	Sum     uint64   `json:"sum"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	Count     uint64          `json:"count"`
+	Sum       uint64          `json:"sum"`
+	Quantiles QuantileSummary `json:"quantiles"`
+	Buckets   []Bucket        `json:"buckets,omitempty"`
+}
+
+// QuantileSummary is the marshalable p50/p90/p99 digest of a
+// histogram, in the histogram's native unit (microseconds for
+// latency histograms).
+type QuantileSummary struct {
+	P50 uint64 `json:"p50"`
+	P90 uint64 `json:"p90"`
+	P99 uint64 `json:"p99"`
+}
+
+// Summary computes the standard quantile digest from the buckets.
+func (s HistogramSnapshot) Summary() QuantileSummary {
+	return QuantileSummary{
+		P50: s.Quantile(0.50),
+		P90: s.Quantile(0.90),
+		P99: s.Quantile(0.99),
+	}
 }
 
 // Bucket is one non-empty histogram bucket: Count observations with

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestQuantileSummaryEdges pins the nearest-rank quantile estimate at
+// the bucket edges the serving layer's gates depend on: an empty
+// histogram, a single observation, observations split exactly across
+// a bucket boundary, and the q=0/q=1 extremes.
+func TestQuantileSummaryEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		s := h.Snapshot()
+		if got := s.Summary(); got != (QuantileSummary{}) {
+			t.Errorf("empty summary = %+v, want zeros", got)
+		}
+	})
+
+	t.Run("single", func(t *testing.T) {
+		var h Histogram
+		h.Observe(300)
+		// 300 lands in bucket [256,511]; every quantile reports its
+		// upper bound.
+		want := QuantileSummary{P50: 511, P90: 511, P99: 511}
+		if got := h.Snapshot().Summary(); got != want {
+			t.Errorf("summary = %+v, want %+v", got, want)
+		}
+	})
+
+	t.Run("boundary-split", func(t *testing.T) {
+		// 50 observations in bucket le=1, 50 in bucket le=3. With
+		// nearest-rank, rank(0.5)=ceil(50)=50 is still inside the
+		// first bucket; anything above crosses into the second.
+		var h Histogram
+		for i := 0; i < 50; i++ {
+			h.Observe(1)
+		}
+		for i := 0; i < 50; i++ {
+			h.Observe(2)
+		}
+		s := h.Snapshot()
+		want := QuantileSummary{P50: 1, P90: 3, P99: 3}
+		if got := s.Summary(); got != want {
+			t.Errorf("summary = %+v, want %+v", got, want)
+		}
+		if q := s.Quantile(0.51); q != 3 {
+			t.Errorf("p51 = %d, want 3 (crosses bucket boundary)", q)
+		}
+		if q := s.Quantile(0); q != 1 {
+			t.Errorf("p0 = %d, want 1 (rank clamps to first observation)", q)
+		}
+		if q := s.Quantile(1); q != 3 {
+			t.Errorf("p100 = %d, want 3", q)
+		}
+	})
+
+	t.Run("heavy-tail", func(t *testing.T) {
+		// 99 fast observations and one huge outlier: p99 must stay in
+		// the fast bucket (rank 99 of 100), only p100 sees the tail.
+		var h Histogram
+		for i := 0; i < 99; i++ {
+			h.Observe(100) // bucket le=127
+		}
+		h.Observe(1 << 30)
+		s := h.Snapshot()
+		if got := s.Quantiles.P99; got != 127 {
+			t.Errorf("p99 = %d, want 127", got)
+		}
+		if q := s.Quantile(1); q != 1<<31-1 {
+			t.Errorf("p100 = %d, want %d", q, 1<<31-1)
+		}
+	})
+}
+
+// TestQuantileSummaryJSON checks that the summary is embedded in the
+// histogram's JSON (so /metrics consumers never re-derive bucket
+// math) and that Snapshot fills it consistently with Summary().
+func TestQuantileSummaryJSON(t *testing.T) {
+	r := New()
+	h := r.Histogram("serve.latency_us")
+	for _, v := range []uint64{10, 20, 40, 80, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["serve.latency_us"]
+	if hs.Quantiles != hs.Summary() {
+		t.Errorf("Snapshot quantiles %+v != Summary() %+v", hs.Quantiles, hs.Summary())
+	}
+
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"quantiles":{"p50":`) {
+		t.Errorf("marshaled snapshot missing quantile summary: %s", buf)
+	}
+
+	var decoded Snapshot
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got := decoded.Histograms["serve.latency_us"].Quantiles; got != hs.Quantiles {
+		t.Errorf("round-tripped quantiles = %+v, want %+v", got, hs.Quantiles)
+	}
+}

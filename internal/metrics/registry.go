@@ -213,8 +213,9 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		if err := write("hist     %-46s count=%d mean=%.0f p50=%d p95=%d p99=%d\n",
-			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)); err != nil {
+		q := h.Quantiles
+		if err := write("hist     %-46s count=%d mean=%.0f p50=%d p90=%d p99=%d\n",
+			name, h.Count, h.Mean(), q.P50, q.P90, q.P99); err != nil {
 			return total, err
 		}
 	}
