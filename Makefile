@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-crypto bench-crawl bench-wire bench-serve fmt-check ci experiments quickstart clean fuzz-smoke chaos lint
+.PHONY: all build vet test race bench bench-crypto bench-crawl bench-wire bench-serve fmt-check ci experiments quickstart clean fuzz-smoke chaos lint lint-bench
 
 all: build vet test
 
@@ -11,7 +11,7 @@ fmt-check:
 	fi
 
 # Reproduce the full CI pipeline (.github/workflows/ci.yml) locally.
-ci: fmt-check build vet lint test race bench-smoke fuzz-smoke chaos bench-wire bench-crawl bench-serve
+ci: fmt-check build vet lint lint-bench test race bench-smoke fuzz-smoke chaos bench-wire bench-crawl bench-serve
 
 # 30 seconds of coverage-guided fuzzing per untrusted-input decoder.
 # Each target also replays its committed regression corpus first.
@@ -70,10 +70,25 @@ build:
 # bounded wire allocations, clock discipline, taxonomy coverage, no
 # locks across conn I/O, conn Close on every path, goroutine
 # termination signals, deadlines on dialed-conn I/O, RLP wire
-# symmetry. -cache reuses the previous run when no source changed
-# (content-hashed; hit rate reported on stderr).
+# symmetry, frozen-after-publish, cross-goroutine shared state,
+# bounded channel discipline. -cache reuses the previous run when no
+# source changed (content-hashed; hit rate reported on stderr).
 lint:
 	go run ./cmd/repolint -cache ./...
+
+# lint-bench times the lint gate itself: a cold run (cache removed)
+# then a warm cached run. The warm run must stay under 10 s — the
+# content-hash cache is what keeps eleven interprocedural analyzers
+# cheap enough to sit on every push, so a slow warm run is a
+# developer-loop regression even when findings stay clean.
+lint-bench:
+	@set -e; rm -f .repolint.cache; \
+	start=$$(date +%s%N); go run ./cmd/repolint -cache ./... >/dev/null; \
+	cold=$$(( ($$(date +%s%N) - start) / 1000000 )); \
+	start=$$(date +%s%N); go run ./cmd/repolint -cache ./... >/dev/null; \
+	warm=$$(( ($$(date +%s%N) - start) / 1000000 )); \
+	echo "lint-bench: cold $${cold} ms, warm $${warm} ms (warm budget 10000 ms)"; \
+	if [ $$warm -gt 10000 ]; then echo "lint-bench: FAIL: warm cached run exceeded 10 s"; exit 1; fi
 
 vet:
 	go vet ./...

@@ -18,6 +18,13 @@
 //	-cache        reuse the previous run's findings when no source
 //	              file changed (content-hash keyed; see internal/lint
 //	              cache.go for why reuse is all-or-nothing)
+//	-list         print every analyzer name with its one-line doc and
+//	              exit without linting
+//	-only NAME    run a single analyzer by name. Suppression-hygiene
+//	              findings (stale or malformed //lint:ignore) are
+//	              withheld — directives for the other analyzers would
+//	              look stale — and the cache is bypassed so a partial
+//	              run never clobbers the full-run cache file.
 package main
 
 import (
@@ -38,6 +45,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "render findings as JSON")
 	annotations := flag.Bool("annotations", false, "render findings as GitHub Actions error annotations")
 	useCache := flag.Bool("cache", false, "reuse previous findings when no source file changed")
+	list := flag.Bool("list", false, "list analyzer names and docs, then exit")
+	only := flag.String("only", "", "run a single analyzer by name (bypasses the cache)")
 	flag.Parse()
 
 	root, modulePath, err := lint.ModuleRoot(".")
@@ -47,6 +56,31 @@ func main() {
 	}
 	loader := lint.NewLoader(root, modulePath)
 	analyzers := lint.RepoAnalyzers(modulePath)
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-13s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	onlyRun := *only != ""
+	if onlyRun {
+		var picked []lint.Analyzer
+		for _, a := range analyzers {
+			if a.Name() == *only {
+				picked = append(picked, a)
+			}
+		}
+		if len(picked) == 0 {
+			fmt.Fprintf(os.Stderr, "repolint: no analyzer named %q; run with -list to see them\n", *only)
+			os.Exit(2)
+		}
+		analyzers = picked
+		// A single-analyzer run would mis-key the shared cache file and
+		// mistake every other analyzer's directives for stale ones, so
+		// the cache is skipped and hygiene findings are withheld below.
+		*useCache = false
+	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "repolint: %d analyzers\n", len(analyzers))
 		for _, a := range analyzers {
@@ -92,6 +126,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "repolint: %d packages loaded\n", len(pkgs))
 		}
 		findings = lint.Run(loader, pkgs, analyzers)
+		if onlyRun {
+			// Directives naming the analyzers we did not run would all
+			// read as unknown or stale; hygiene checks need a full run.
+			kept := findings[:0]
+			for _, f := range findings {
+				if f.Analyzer != "lint" {
+					kept = append(kept, f)
+				}
+			}
+			findings = kept
+		}
 		for i := range findings {
 			findings[i].Pos.Filename = loader.RelPath(findings[i].Pos.Filename)
 		}

@@ -255,7 +255,7 @@ func (t *Transport) expireLoop() {
 			t.mu.Lock()
 			for _, p := range t.pending {
 				//lint:ignore locknet errc is buffered (cap 1) and each pending entry resolves once, so the send cannot block
-				p.errc <- errors.New("discv4: transport closed")
+				p.errc <- errors.New("discv4: transport closed") //lint:ignore boundedchan cap-1 reply slot filled exactly once per pending entry; the send can never block
 			}
 			t.pending = nil
 			t.mu.Unlock()
@@ -266,7 +266,7 @@ func (t *Transport) expireLoop() {
 			for _, p := range t.pending {
 				if now.After(p.deadline) {
 					//lint:ignore locknet errc is buffered (cap 1) and each pending entry resolves once, so the send cannot block
-					p.errc <- errTimeout
+					p.errc <- errTimeout //lint:ignore boundedchan cap-1 reply slot filled exactly once per pending entry; the send can never block
 				} else {
 					kept = append(kept, p)
 				}
@@ -400,7 +400,7 @@ func (t *Transport) deliver(from enode.ID, ptype byte, pkt any) {
 			matched = matched || consumed
 			if done {
 				//lint:ignore locknet errc is buffered (cap 1) and each pending entry resolves once, so the send cannot block
-				p.errc <- nil
+				p.errc <- nil //lint:ignore boundedchan cap-1 reply slot filled exactly once per pending entry; the send can never block
 				continue
 			}
 		}

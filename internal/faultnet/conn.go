@@ -50,8 +50,7 @@ func (c *conn) sleep(d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}
-	//lint:ignore wallclock fault delays emulate real network latency on real sockets; tests keep them sub-millisecond
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //lint:ignore wallclock the injected-latency timer emulates real network delay on real sockets; tests keep it sub-millisecond
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -90,6 +90,11 @@ type boundWalker struct {
 	pkg      *Package
 	analyzer string
 	findings []Finding
+
+	// check, when set, replaces the default make-slice/ReadAll checks:
+	// checkExpr hands every call plus the current bound state to it.
+	// boundedchan reuses the walker's guard/clamp tracking this way.
+	check func(call *ast.CallExpr, capped boundSet)
 }
 
 // walkStmts processes a statement list sequentially, mutating capped
@@ -333,6 +338,10 @@ func (w *boundWalker) checkExpr(expr ast.Expr, capped boundSet) {
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		if w.check != nil {
+			w.check(call, capped)
 			return true
 		}
 		if w.isMakeSlice(call) {

@@ -1,6 +1,6 @@
 package lint
 
-// RepoAnalyzers returns the eight invariant analyzers configured for
+// RepoAnalyzers returns the eleven invariant analyzers configured for
 // this repository's contracts. module is the module path from go.mod
 // ("repro"); taking it as a parameter keeps the analyzers themselves
 // reusable against the golden testdata trees, which load under a
@@ -102,5 +102,31 @@ func RepoAnalyzers(module string) []Analyzer {
 			},
 			RLPPkg: module + "/internal/rlp",
 		},
+		// Published values are frozen everywhere: the census Snapshot
+		// contract (write, publish via atomic.Pointer.Store or channel
+		// send, never touch again) is the only way lock-free readers
+		// stay coherent, and nothing outside the census should violate
+		// it either.
+		&FrozenPublish{},
+		&SharedState{
+			// Packages that spawn goroutines around mutable crawl state.
+			// A field reached from two goroutines without a common guard
+			// is a data race the -race CI job only catches when a test
+			// happens to interleave it; the lockset pass catches the
+			// shape statically.
+			Packages: []string{
+				module + "/internal/nodefinder",
+				module + "/internal/discv4",
+				module + "/internal/rlpx",
+				module + "/internal/simnet",
+				module + "/internal/faultnet",
+				module + "/internal/ethnode",
+				module + "/internal/census",
+			},
+		},
+		// Queue discipline is repo-wide: every buffered channel is a
+		// bounded queue, and bounded queues drop-or-degrade instead of
+		// stalling their producer (the Finder shard-queue contract).
+		&BoundedChan{},
 	}
 }

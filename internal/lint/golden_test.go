@@ -40,6 +40,9 @@ func testAnalyzers() []Analyzer {
 			Packages: []string{"lintest/wiresym"},
 			RLPPkg:   "lintest/rlp",
 		},
+		&FrozenPublish{Packages: []string{"lintest/frozenpublish"}},
+		&SharedState{Packages: []string{"lintest/sharedstate"}},
+		&BoundedChan{Packages: []string{"lintest/boundedchan"}},
 	}
 }
 
@@ -159,6 +162,9 @@ func TestGolden(t *testing.T) {
 		"deadlineflow":  3,
 		"wiresym":       6,
 		"lint":          4,
+		"frozenpublish": 3,
+		"sharedstate":   3,
+		"boundedchan":   3,
 	} {
 		if perAnalyzer[name] < minimum {
 			t.Errorf("analyzer %s reported %d findings in the golden universe, want at least %d",

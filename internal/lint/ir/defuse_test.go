@@ -1,0 +1,152 @@
+package ir
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// useOf finds the use of name inside the first block-resident
+// statement whose source text starts with fragment.
+func useOf(t *testing.T, f *Func, fragment, name string) *ast.Ident {
+	t.Helper()
+	for _, b := range f.Blocks {
+		for _, s := range b.Nodes {
+			if !strings.HasPrefix(stmtText(f.Pkg.Fset, s), fragment) {
+				continue
+			}
+			var found *ast.Ident
+			ast.Inspect(s, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == name && found == nil {
+					if _, isUse := f.Pkg.Info.Uses[id]; isUse {
+						found = id
+					}
+				}
+				return found == nil
+			})
+			if found != nil {
+				return found
+			}
+		}
+	}
+	t.Fatalf("no use of %q inside a statement starting with %q", name, fragment)
+	return nil
+}
+
+// rhsTexts renders reaching RHS expressions as source text; nil
+// entries (parameter/range defs) render as "<nil>".
+func rhsTexts(f *Func, exprs []ast.Expr) []string {
+	var out []string
+	for _, e := range exprs {
+		if e == nil {
+			out = append(out, "<nil>")
+			continue
+		}
+		out = append(out, stmtText(f.Pkg.Fset, e))
+	}
+	return out
+}
+
+func wantRHS(t *testing.T, f *Func, got []ast.Expr, want ...string) {
+	t.Helper()
+	texts := rhsTexts(f, got)
+	if len(texts) != len(want) {
+		t.Fatalf("reaching defs = %v, want %v", texts, want)
+	}
+	have := make(map[string]bool, len(texts))
+	for _, s := range texts {
+		have[s] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("reaching defs = %v, want %v", texts, want)
+		}
+	}
+}
+
+// TestDefUseKillSameBlock pins the single-block function: a later
+// assignment in the same block kills the earlier one.
+func TestDefUseKillSameBlock(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func kill() int {
+	x := 1
+	x = 2
+	return x
+}`)
+	f := funcByName(t, prog, "kill")
+	d := BuildDefUse(f)
+	wantRHS(t, f, d.ReachingRHS(useOf(t, f, "return x", "x")), "2")
+}
+
+// TestDefUseBranchMerge pins the union meet: both branch assignments
+// reach the join, and both kill the initial def.
+func TestDefUseBranchMerge(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func merge(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`)
+	f := funcByName(t, prog, "merge")
+	d := BuildDefUse(f)
+	wantRHS(t, f, d.ReachingRHS(useOf(t, f, "return x", "x")), "2", "3")
+}
+
+// TestDefUseSelfLoop pins the fixpoint on a cyclic CFG: the loop-body
+// assignment reaches its own right-hand side on the next iteration,
+// alongside the pre-loop def for the first one.
+func TestDefUseSelfLoop(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func loop(n int) int {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x + 1
+	}
+	return x
+}`)
+	f := funcByName(t, prog, "loop")
+	d := BuildDefUse(f)
+	wantRHS(t, f, d.ReachingRHS(useOf(t, f, "x = x + 1", "x")), "1", "x + 1")
+	wantRHS(t, f, d.ReachingRHS(useOf(t, f, "return x", "x")), "1", "x + 1")
+}
+
+// TestDefUseUnreachableBlock pins behavior on dead code: a def inside
+// an unreachable block still reaches a later use in that block, and
+// nothing leaks in from the live region.
+func TestDefUseUnreachableBlock(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func dead() int {
+	y := 7
+	_ = y
+	return y
+	x := 2
+	return x
+}`)
+	f := funcByName(t, prog, "dead")
+	if b := blockContaining(t, f, "x := 2"); !b.Unreachable() {
+		t.Fatal("fixture block after return must be unreachable")
+	}
+	d := BuildDefUse(f)
+	wantRHS(t, f, d.ReachingRHS(useOf(t, f, "return x", "x")), "2")
+}
+
+// TestDefUseParamAndRangeDefs pins the nil-RHS definitions: parameters
+// are live at entry and range variables define per iteration.
+func TestDefUseParamAndRangeDefs(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func sum(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t = t + v
+	}
+	return t
+}`)
+	f := funcByName(t, prog, "sum")
+	d := BuildDefUse(f)
+	wantRHS(t, f, d.ReachingRHS(useOf(t, f, "t = t + v", "v")), "<nil>")
+	wantRHS(t, f, d.ReachingRHS(useOf(t, f, "for _, v := range xs", "xs")), "<nil>")
+}

@@ -1,0 +1,117 @@
+package ir
+
+import "testing"
+
+// TestDominatorsSingleBlock pins the degenerate CFG: a straight-line
+// body lowers to the entry block plus the synthetic exit, and the
+// entry's dominator set is exactly itself.
+func TestDominatorsSingleBlock(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func add(a, b int) int {
+	c := a + b
+	return c
+}`)
+	f := funcByName(t, prog, "add")
+	dom := Dominators(f)
+
+	entry := f.Entry
+	count := 0
+	dom[entry.Index].ForEach(func(int) { count++ })
+	if count != 1 || !dom[entry.Index].Has(entry.Index) {
+		t.Fatalf("entry dominator set = %d blocks, want exactly itself", count)
+	}
+	for _, b := range f.Blocks {
+		if !Dominates(dom, entry, b) {
+			t.Errorf("entry must dominate block %d", b.Index)
+		}
+		if len(b.Nodes) > 0 && b != entry {
+			t.Errorf("straight-line body spread statements into block %d", b.Index)
+		}
+	}
+}
+
+// TestDominatorsDiamond pins the if/else shape: neither arm dominates
+// the join, while entry dominates everything.
+func TestDominatorsDiamond(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func pick(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	f := funcByName(t, prog, "pick")
+	dom := Dominators(f)
+
+	then := blockContaining(t, f, "x = 1")
+	els := blockContaining(t, f, "x = 2")
+	join := blockContaining(t, f, "return x")
+	for _, arm := range []*Block{then, els} {
+		if Dominates(dom, arm, join) {
+			t.Errorf("branch arm %d must not dominate the join", arm.Index)
+		}
+	}
+	if !Dominates(dom, f.Entry, join) || !Dominates(dom, f.Entry, then) || !Dominates(dom, f.Entry, els) {
+		t.Error("entry must dominate both arms and the join")
+	}
+}
+
+// TestDominatorsSelfLoop pins a body block that is (transitively) its
+// own predecessor: it must still be strictly dominated by the entry
+// and never dominate it back.
+func TestDominatorsSelfLoop(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}`)
+	f := funcByName(t, prog, "spin")
+	dom := Dominators(f)
+
+	body := blockContaining(t, f, "n++")
+	if !reaches(body, body) {
+		t.Fatal("loop body must be in a CFG cycle with itself")
+	}
+	if !Dominates(dom, f.Entry, body) {
+		t.Error("entry must dominate the loop body")
+	}
+	if Dominates(dom, body, f.Entry) {
+		t.Error("loop body must not dominate the entry")
+	}
+	// A block always dominates itself.
+	if !Dominates(dom, body, body) {
+		t.Error("self-domination must hold inside the cycle")
+	}
+}
+
+// TestDominatorsUnreachableBlock pins the documented ⊤ convention:
+// code after a return keeps the full dominator set ("no constraint"),
+// and the builder marks it unreachable.
+func TestDominatorsUnreachableBlock(t *testing.T) {
+	_, prog := parseFixture(t, `package fixture
+func dead() int {
+	return 1
+	x := 2
+	return x
+}`)
+	f := funcByName(t, prog, "dead")
+	dom := Dominators(f)
+
+	u := blockContaining(t, f, "x := 2")
+	if !u.Unreachable() {
+		t.Fatal("block after return must be marked unreachable")
+	}
+	for _, b := range f.Blocks {
+		if !Dominates(dom, b, u) {
+			t.Errorf("unreachable block must keep top: missing dominator %d", b.Index)
+		}
+	}
+	if Dominates(dom, u, f.Entry) {
+		t.Error("unreachable block must not dominate the entry")
+	}
+}

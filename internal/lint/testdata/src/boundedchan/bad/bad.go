@@ -1,0 +1,40 @@
+// Package bad demonstrates boundedchan violations: channel capacities
+// the analyzer cannot prove bounded, and blocking sends into visibly
+// buffered queues. Shapes covered: a capacity taken straight from a
+// parameter, a plain send on a locally made buffered channel, a
+// select whose every arm is a send (no escape), and a buffered struct
+// field sent to without a select.
+package bad
+
+type queue struct {
+	jobs chan int
+}
+
+// newQueue sizes the queue from an unclamped parameter.
+func newQueue(depth int) *queue {
+	return &queue{jobs: make(chan int, depth)} // want "channel capacity depth is not provably capped"
+}
+
+// push is a plain send into the bounded field queue.
+func (q *queue) push(v int) {
+	q.jobs <- v // want "blocking send on bounded channel q\\.jobs"
+}
+
+// localPlain sends into a local buffered channel with nothing to
+// stop it blocking when full.
+func localPlain() int {
+	ch := make(chan int, 8)
+	ch <- 1 // want "blocking send on bounded channel ch"
+	return <-ch
+}
+
+// selectNoEscape has only send arms: when both queues are full the
+// select blocks exactly like a bare send.
+func selectNoEscape() {
+	a := make(chan int, 4)
+	b := make(chan int, 4)
+	select {
+	case a <- 1: // want "blocking send on bounded channel a"
+	case b <- 2: // want "blocking send on bounded channel b"
+	}
+}

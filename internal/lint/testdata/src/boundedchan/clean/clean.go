@@ -1,0 +1,61 @@
+// Package clean is the silent twin of boundedchan/bad: constant and
+// clamped capacities, sends under selects with escape arms, blocking
+// sends on unbuffered channels (where the rendezvous is the point),
+// and channels whose construction the package cannot see.
+package clean
+
+const maxDepth = 64
+
+type queue struct {
+	jobs chan int
+}
+
+// newQueue clamps the requested depth before sizing the channel.
+func newQueue(depth int) *queue {
+	if depth > maxDepth {
+		depth = maxDepth
+	}
+	return &queue{jobs: make(chan int, depth)}
+}
+
+// tryPush drops on a full queue instead of blocking.
+func (q *queue) tryPush(v int) bool {
+	select {
+	case q.jobs <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// pushOrCancel escapes through a receive arm.
+func (q *queue) pushOrCancel(v int, cancel <-chan struct{}) bool {
+	select {
+	case q.jobs <- v:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// constantCap uses a compile-time capacity and a select with default.
+func constantCap() {
+	ch := make(chan int, 16)
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// unbuffered sends block by design: the channel is a rendezvous.
+func unbuffered() {
+	ch := make(chan int)
+	go func() { <-ch }()
+	ch <- 1
+}
+
+// unknownOrigin cannot see where the channel came from, so the send
+// discipline is the caller's contract.
+func unknownOrigin(out chan<- int) {
+	out <- 1
+}

@@ -1,0 +1,72 @@
+// Package bad demonstrates frozen-after-publish violations: every
+// function publishes a value (atomic Store, channel send, or a call
+// that publishes) and then mutates its reachable object graph. Shapes
+// covered: a direct field write after an atomic Store, a write
+// through an alias of the published pointer, a slice element write
+// after a channel send, a mutating builtin after a send, a mutating
+// helper call after a Store, and a write after an interprocedural
+// publishing call.
+package bad
+
+import "sync/atomic"
+
+// Snapshot mirrors the census snapshot shape: published behind an
+// atomic pointer, read lock-free.
+type Snapshot struct {
+	Count int
+	Items []int
+}
+
+// DirectWriteAfterStore mutates the snapshot it just published.
+func DirectWriteAfterStore(p *atomic.Pointer[Snapshot]) {
+	s := &Snapshot{Count: 1}
+	p.Store(s)
+	s.Count = 2 // want "write to s\\.Count after the atomic Store on p"
+}
+
+// AliasWriteAfterStore mutates the published object through a second
+// variable aliasing it — the union-find must see through the copy.
+func AliasWriteAfterStore(p *atomic.Pointer[Snapshot]) {
+	s := &Snapshot{}
+	alias := s
+	p.Store(s)
+	alias.Count++ // want "write to alias\\.Count after the atomic Store on p"
+}
+
+// ElementWriteAfterSend rewrites a slice element after handing the
+// slice to another goroutine over a channel.
+func ElementWriteAfterSend(out chan<- []int) {
+	buf := []int{1, 2, 3}
+	out <- buf
+	buf[0] = 9 // want "write to buf\\[0\\] after the send on out"
+}
+
+// BuiltinMutateAfterSend mutates a sent map with a builtin.
+func BuiltinMutateAfterSend(out chan<- map[string]int, m map[string]int) {
+	out <- m
+	delete(m, "gone") // want "builtin delete mutates m after the send on out"
+}
+
+func scrub(s *Snapshot) {
+	s.Count = 0
+}
+
+// HelperMutateAfterStore mutates the published object through a
+// helper whose interprocedural summary says it writes its parameter.
+func HelperMutateAfterStore(p *atomic.Pointer[Snapshot]) {
+	s := &Snapshot{Count: 3}
+	p.Store(s)
+	scrub(s) // want "call to .*scrub mutates s after the atomic Store on p"
+}
+
+func publish(p *atomic.Pointer[Snapshot], s *Snapshot) {
+	p.Store(s)
+}
+
+// WriteAfterPublishingCall publishes through a helper, so the call
+// site itself is the publish point the later write violates.
+func WriteAfterPublishingCall(p *atomic.Pointer[Snapshot]) {
+	s := &Snapshot{}
+	publish(p, s)
+	s.Items = append(s.Items, 1) // want "write to s\\.Items after the publishing call to .*publish" "builtin append mutates s\\.Items after the publishing call to .*publish"
+}

@@ -1,0 +1,65 @@
+// Package clean is the silent twin of frozenpublish/bad: every
+// function publishes, but respects the freeze — copy-on-write before
+// publishing, rebinding to a fresh object inside a publish loop, and
+// mutating only objects outside the published alias class.
+package clean
+
+import "sync/atomic"
+
+// Snapshot mirrors the bad twin's shape.
+type Snapshot struct {
+	Count int
+	Items []int
+}
+
+// CopyThenPublish is the census idiom: build a private copy, publish
+// it, keep mutating only the template. The value copy must not join
+// the published alias class.
+func CopyThenPublish(p *atomic.Pointer[Snapshot], tmpl *Snapshot) {
+	c := *tmpl
+	c.Count++
+	p.Store(&c)
+	tmpl.Count++ // the template was never published
+}
+
+// PublishLoop rebinds the variable to a fresh object every iteration
+// before mutating it, so each Store freezes an object that is never
+// touched again.
+func PublishLoop(p *atomic.Pointer[Snapshot], rounds int) {
+	var s *Snapshot
+	for i := 0; i < rounds; i++ {
+		s = &Snapshot{}
+		s.Count = i
+		p.Store(s)
+	}
+}
+
+// SendThenMutateOther sends one slice and mutates a different one.
+func SendThenMutateOther(out chan<- []int) {
+	a := []int{1}
+	b := []int{2}
+	out <- a
+	b[0] = 3
+	_ = b
+}
+
+// HelperOnFreshObject calls the mutating helper on an object that was
+// never published.
+func HelperOnFreshObject(p *atomic.Pointer[Snapshot]) {
+	s := &Snapshot{}
+	p.Store(s)
+	other := &Snapshot{}
+	reset(other)
+}
+
+func reset(s *Snapshot) {
+	s.Count = 0
+}
+
+// ReadAfterPublish only reads the published object, which is always
+// allowed.
+func ReadAfterPublish(p *atomic.Pointer[Snapshot]) int {
+	s := &Snapshot{Count: 7}
+	p.Store(s)
+	return s.Count + len(s.Items)
+}

@@ -1,0 +1,70 @@
+// Package bad demonstrates sharedstate violations: state reached from
+// more than one goroutine without a consistent guard. Shapes covered:
+// a captured variable written by the goroutine and its spawner with
+// no lock, a struct field the goroutine guards but the spawner does
+// not (lockset mismatch), two sibling goroutines disagreeing about a
+// shared map's mutex, and a pointer passed as a go-call argument with
+// unguarded writes on both sides.
+package bad
+
+import "sync"
+
+// CapturedCounter races a captured integer between the goroutine and
+// the spawner.
+func CapturedCounter() int {
+	n := 0
+	go func() {
+		n++ // want "n is shared with the goroutine"
+	}()
+	n++
+	return n
+}
+
+type server struct {
+	mu    sync.Mutex
+	conns int
+}
+
+// Run guards conns in the goroutine but writes it bare afterwards:
+// the locksets do not intersect.
+func (s *server) Run() {
+	go s.loop()
+	s.conns++ // want "field conns of s is shared with the goroutine"
+}
+
+func (s *server) loop() {
+	for i := 0; i < 10; i++ {
+		s.mu.Lock()
+		s.conns++
+		s.mu.Unlock()
+	}
+}
+
+// Siblings spawns two goroutines over one map; only the first takes
+// the mutex.
+func Siblings() {
+	m := make(map[int]int)
+	var mu sync.Mutex
+	go func() {
+		mu.Lock()
+		m[1] = 1
+		mu.Unlock()
+	}()
+	go func() { // want "memory reached through m is shared with the sibling goroutine"
+		m[2] = 2
+	}()
+}
+
+type counter struct{ hits int }
+
+// SpawnArg shares a pointer with a named go'd function; both sides
+// write the field with no guard at all.
+func SpawnArg() {
+	c := &counter{}
+	go bump(c)
+	c.hits++ // want "field hits of c is shared with the goroutine"
+}
+
+func bump(c *counter) {
+	c.hits++
+}

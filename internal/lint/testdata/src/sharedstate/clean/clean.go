@@ -1,0 +1,87 @@
+// Package clean is the silent twin of sharedstate/bad: the same
+// sharing shapes made race-free by a mutex held on both sides, a
+// join (wg.Wait / channel receive) before the spawner touches the
+// state, confinement before the go statement, and Go 1.22
+// per-iteration variables.
+package clean
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	conns int
+}
+
+// Run and loop both hold s.mu: the normalized locksets intersect.
+func (s *server) Run() {
+	go s.loop()
+	s.mu.Lock()
+	s.conns++
+	s.mu.Unlock()
+}
+
+func (s *server) loop() {
+	for i := 0; i < 10; i++ {
+		s.mu.Lock()
+		s.conns++
+		s.mu.Unlock()
+	}
+}
+
+// JoinedCounter writes the captured variable only after wg.Wait, so
+// the accesses cannot overlap the goroutine's.
+func JoinedCounter() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n++
+	}()
+	wg.Wait()
+	n++
+	return n
+}
+
+// ReceiveJoin uses a channel receive as the happens-after edge.
+func ReceiveJoin() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 42
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// ConfinedBeforeGo finishes every spawner-side access before the go
+// statement; afterwards the goroutine owns the map alone.
+func ConfinedBeforeGo() {
+	m := make(map[int]int)
+	m[0] = 1
+	go func() {
+		m[1] = 2
+	}()
+}
+
+// PerIterationVar re-declares the loop variable, so each goroutine
+// captures a fresh per-iteration instance nobody else touches.
+func PerIterationVar(items []*server) {
+	for _, it := range items {
+		it := it
+		go func() {
+			it.mu.Lock()
+			it.conns++
+			it.mu.Unlock()
+		}()
+	}
+}
+
+// ReadOnlySharing never writes: read/read sharing is not a race.
+func ReadOnlySharing(cfg map[string]string) {
+	go func() {
+		_ = cfg["a"]
+	}()
+	_ = cfg["b"]
+}
