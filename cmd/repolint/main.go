@@ -15,9 +15,16 @@
 //	-json         render findings as a JSON array instead of text
 //	-annotations  render findings as GitHub Actions ::error commands,
 //	              so CI surfaces them inline on the PR diff
+//	-sarif        render findings as a SARIF 2.1.0 log for GitHub
+//	              code-scanning upload
 //	-cache        reuse the previous run's findings when no source
 //	              file changed (content-hash keyed; see internal/lint
 //	              cache.go for why reuse is all-or-nothing)
+//	-cache-file PATH
+//	              read/write the cache at PATH instead of
+//	              .repolint.cache beside go.mod (benchmarks and tests
+//	              point this at a scratch file so they never touch the
+//	              developer's warm cache)
 //	-list         print every analyzer name with its one-line doc and
 //	              exit without linting
 //	-only NAME    run a single analyzer by name. Suppression-hygiene
@@ -30,38 +37,51 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/lint"
 )
 
-// cacheName is the per-module cache file, kept beside go.mod and
-// ignored by git.
+// cacheName is the default per-module cache file, kept beside go.mod
+// and ignored by git.
 const cacheName = ".repolint.cache"
 
 func main() {
-	verbose := flag.Bool("v", false, "print analyzer docs and per-analyzer finding counts")
-	jsonOut := flag.Bool("json", false, "render findings as JSON")
-	annotations := flag.Bool("annotations", false, "render findings as GitHub Actions error annotations")
-	useCache := flag.Bool("cache", false, "reuse previous findings when no source file changed")
-	list := flag.Bool("list", false, "list analyzer names and docs, then exit")
-	only := flag.String("only", "", "run a single analyzer by name (bypasses the cache)")
-	flag.Parse()
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runMain is the whole tool behind a testable seam: flags in, exit
+// code out, every byte of output through the supplied writers.
+func runMain(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	verbose := flags.Bool("v", false, "print analyzer docs and per-analyzer finding counts")
+	jsonOut := flags.Bool("json", false, "render findings as JSON")
+	annotations := flags.Bool("annotations", false, "render findings as GitHub Actions error annotations")
+	sarif := flags.Bool("sarif", false, "render findings as a SARIF 2.1.0 log")
+	useCache := flags.Bool("cache", false, "reuse previous findings when no source file changed")
+	cacheFile := flags.String("cache-file", "", "cache file path (default .repolint.cache beside go.mod)")
+	list := flags.Bool("list", false, "list analyzer names and docs, then exit")
+	only := flags.String("only", "", "run a single analyzer by name (bypasses the cache)")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
 
 	root, modulePath, err := lint.ModuleRoot(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
 	}
 	loader := lint.NewLoader(root, modulePath)
 	analyzers := lint.RepoAnalyzers(modulePath)
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-13s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name(), a.Doc())
 		}
-		return
+		return 0
 	}
 	onlyRun := *only != ""
 	if onlyRun {
@@ -72,8 +92,8 @@ func main() {
 			}
 		}
 		if len(picked) == 0 {
-			fmt.Fprintf(os.Stderr, "repolint: no analyzer named %q; run with -list to see them\n", *only)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "repolint: no analyzer named %q; run with -list to see them\n", *only)
+			return 2
 		}
 		analyzers = picked
 		// A single-analyzer run would mis-key the shared cache file and
@@ -82,14 +102,17 @@ func main() {
 		*useCache = false
 	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "repolint: %d analyzers\n", len(analyzers))
+		fmt.Fprintf(stderr, "repolint: %d analyzers\n", len(analyzers))
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stderr, "  %-13s %s\n", a.Name(), a.Doc())
 		}
 	}
 
 	config := lint.CacheConfig(modulePath, analyzers)
-	cachePath := filepath.Join(root, cacheName)
+	cachePath := *cacheFile
+	if cachePath == "" {
+		cachePath = filepath.Join(root, cacheName)
+	}
 
 	var findings []lint.Finding
 	cached := false
@@ -97,33 +120,33 @@ func main() {
 	if *useCache {
 		digests, err = lint.DigestPackages(loader)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "repolint: cache disabled:", err)
+			fmt.Fprintln(stderr, "repolint: cache disabled:", err)
 			digests = nil
 		} else if prev := lint.LoadCache(cachePath); prev != nil {
 			hits, total, ok := prev.Hits(config, digests)
 			if ok {
 				findings = prev.Findings
 				cached = true
-				fmt.Fprintf(os.Stderr, "repolint: cache hit: %d/%d packages unchanged, reusing previous findings\n", hits, total)
+				fmt.Fprintf(stderr, "repolint: cache hit: %d/%d packages unchanged, reusing previous findings\n", hits, total)
 			} else {
 				// The analyzers are interprocedural, so one changed
 				// package can move findings in unchanged ones: any miss
 				// re-analyzes the whole module.
-				fmt.Fprintf(os.Stderr, "repolint: cache miss: %d/%d packages unchanged, re-analyzing module\n", hits, total)
+				fmt.Fprintf(stderr, "repolint: cache miss: %d/%d packages unchanged, re-analyzing module\n", hits, total)
 			}
 		} else {
-			fmt.Fprintln(os.Stderr, "repolint: cache cold, analyzing module")
+			fmt.Fprintln(stderr, "repolint: cache cold, analyzing module")
 		}
 	}
 
 	if !cached {
 		pkgs, err := loader.LoadAll()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "repolint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "repolint: %d packages loaded\n", len(pkgs))
+			fmt.Fprintf(stderr, "repolint: %d packages loaded\n", len(pkgs))
 		}
 		findings = lint.Run(loader, pkgs, analyzers)
 		if onlyRun {
@@ -142,29 +165,35 @@ func main() {
 		}
 		if digests != nil {
 			if err := lint.SaveCache(cachePath, config, digests, findings); err != nil {
-				fmt.Fprintln(os.Stderr, "repolint: cache not saved:", err)
+				fmt.Fprintln(stderr, "repolint: cache not saved:", err)
 			}
 		}
 	}
 
 	switch {
 	case *jsonOut:
-		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "repolint:", err)
-			os.Exit(2)
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
 		}
 	case *annotations:
-		if err := lint.WriteAnnotations(os.Stdout, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "repolint:", err)
-			os.Exit(2)
+		if err := lint.WriteAnnotations(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+	case *sarif:
+		if err := lint.WriteSARIF(stdout, analyzers, findings); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
 		}
 	default:
 		for _, f := range findings {
-			fmt.Println(f.String())
+			fmt.Fprintln(stdout, f.String())
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "repolint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }

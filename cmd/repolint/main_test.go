@@ -1,0 +1,90 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// poisonCache writes a cache file at path that a `-cache` run over the
+// current, unmodified repository would accept: real per-package
+// digests, the real analyzer config, and one fabricated finding that
+// no analyzer would ever produce.
+func poisonCache(t *testing.T, path string) {
+	t.Helper()
+	root, modulePath, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests, err := lint.DigestPackages(lint.NewLoader(root, modulePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	config := lint.CacheConfig(modulePath, lint.RepoAnalyzers(modulePath))
+	poisoned := []lint.Finding{{
+		Pos:      token.Position{Filename: "internal/poison/poison.go", Line: 1, Column: 1},
+		Analyzer: "wiretaint",
+		Message:  "poisoned cache entry",
+	}}
+	if err := lint.SaveCache(path, config, digests, poisoned); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnlyBypassesCache pins the -only/-cache interaction end to end:
+// a cache file a full `-cache` run replays verbatim is ignored by an
+// `-only` run, which re-analyzes from source and neither reads nor
+// clobbers the cache file. The control run doubles as the -cache-file
+// read-path test: the hit comes from the supplied path, not the
+// default .repolint.cache beside go.mod.
+func TestOnlyBypassesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes the whole module")
+	}
+	cachePath := t.TempDir() + "/poisoned.cache"
+	poisonCache(t, cachePath)
+	before, err := os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: a full cached run must replay the poisoned findings.
+	var stdout, stderr strings.Builder
+	code := runMain([]string{"-cache", "-cache-file", cachePath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("poisoned cached run: exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cache hit") {
+		t.Fatalf("poisoned cache was not replayed; the control is invalid\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "poisoned cache entry") {
+		t.Fatalf("cache hit did not echo the poisoned finding\nstdout: %s", stdout.String())
+	}
+
+	// The -only run must bypass that same cache entirely.
+	stdout.Reset()
+	stderr.Reset()
+	code = runMain([]string{"-only", "wiretaint", "-cache", "-cache-file", cachePath}, &stdout, &stderr)
+	if strings.Contains(stderr.String(), "cache hit") {
+		t.Errorf("-only run reported a cache hit\nstderr: %s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "poisoned cache entry") {
+		t.Errorf("-only run replayed the poisoned finding\nstdout: %s", stdout.String())
+	}
+	if code != 0 {
+		t.Errorf("-only wiretaint over the clean repo: exit %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+
+	// A partial run must never clobber the full-run cache file.
+	after, err := os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("-only run rewrote the cache file")
+	}
+}

@@ -158,6 +158,12 @@ const (
 	MaxHeadersSize = 1 << 19
 )
 
+// MaxHeadersServe caps how many headers one GET_BLOCK_HEADERS request
+// can demand. Without it a peer's req.Amount of 2^64-1 walks the whole
+// chain and builds the response slice to match — the serve-side twin
+// of the MaxHeadersSize read cap.
+const MaxHeadersServe = 1024
+
 // Handshake errors, classified the way NodeFinder's logs need them.
 var (
 	ErrNetworkMismatch  = errors.New("eth: network ID mismatch")
@@ -247,9 +253,15 @@ func ReadHeaders(rw devp2p.MsgReadWriter, offset uint64) ([]*chain.Header, error
 	return nil, errors.New("eth: no header response within message budget")
 }
 
-// ServeHeaders answers one GET_BLOCK_HEADERS request from c.
+// ServeHeaders answers one GET_BLOCK_HEADERS request from c. The
+// answered count is clamped to MaxHeadersServe regardless of what the
+// request demands.
 func ServeHeaders(c *chain.Chain, req *GetBlockHeaders) []*chain.Header {
-	if req.Amount == 0 {
+	amount := req.Amount
+	if amount > MaxHeadersServe {
+		amount = MaxHeadersServe
+	}
+	if amount == 0 {
 		return nil
 	}
 	var start *chain.Header
@@ -264,7 +276,7 @@ func ServeHeaders(c *chain.Chain, req *GetBlockHeaders) []*chain.Header {
 	headers := []*chain.Header{start}
 	step := int64(req.Skip) + 1
 	cur := start.Number.Int64()
-	for uint64(len(headers)) < req.Amount {
+	for uint64(len(headers)) < amount {
 		if req.Reverse {
 			cur -= step
 		} else {

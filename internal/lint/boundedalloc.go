@@ -2,9 +2,8 @@ package lint
 
 import (
 	"fmt"
-	"go/ast"
-	"go/token"
-	"go/types"
+
+	"repro/internal/lint/ir"
 )
 
 // BoundedAlloc flags allocations whose size flows from a wire-decoded
@@ -13,7 +12,9 @@ import (
 // allocation before a single payload byte arrives. It is the static
 // twin of the 16 MiB-frame and rlp size-overflow regression tests.
 //
-// The analysis is a per-function, flow-sensitive boundedness walk:
+// The analysis is ir.TaintAnalysis in pessimistic mode — the shared
+// wire-taint engine with sources disabled, so every value the engine
+// cannot prove bounded counts as attacker-sized:
 //
 //   - Constants, len/cap results, and values of small fixed-width
 //     integer types (≤ 16 bits — a 2-byte prefix cannot exceed 65535)
@@ -23,7 +24,9 @@ import (
 //   - A variable becomes bounded after a guard that either aborts on
 //     the oversize branch (if v > cap { return err }) or clamps it
 //     (if v > cap { v = cap }).
-//   - Everything else — function results, struct fields, parameters —
+//   - A module-local call resolves through the callee's memoized
+//     summary, so a clamp inside a helper bounds every call site.
+//   - Everything else — external results, struct fields, parameters —
 //     is unbounded, because the analyzer cannot see where it came
 //     from, and in a wire-parsing package "unknown" means "the peer
 //     picked it".
@@ -46,509 +49,28 @@ func (b *BoundedAlloc) Doc() string {
 
 // Run implements Analyzer.
 func (b *BoundedAlloc) Run(l *Loader, pkgs []*Package) []Finding {
+	prog := l.Program(pkgs)
+	eng := &ir.TaintAnalysis{Prog: prog, Mode: ir.ModePessimistic}
 	var findings []Finding
-	for _, pkg := range pkgs {
-		if !matchesAny(pkg.Path, b.Packages) {
+	for _, sink := range eng.Run() {
+		if !matchesAny(sink.Fn.Pkg.Path, b.Packages) {
 			continue
 		}
-		for _, file := range pkg.Files {
-			for _, body := range funcBodies(file) {
-				w := &boundWalker{pkg: pkg, analyzer: b.Name()}
-				w.walkStmts(body.List, newBoundSet())
-				findings = append(findings, w.findings...)
-			}
-		}
-	}
-	return findings
-}
-
-// boundSet tracks which local objects are currently known bounded.
-type boundSet map[types.Object]bool
-
-func newBoundSet() boundSet { return make(boundSet) }
-
-func (s boundSet) clone() boundSet {
-	c := make(boundSet, len(s))
-	for k, v := range s {
-		c[k] = v
-	}
-	return c
-}
-
-// intersect keeps only objects bounded in both sets.
-func intersect(a, b boundSet) boundSet {
-	out := newBoundSet()
-	for k := range a {
-		if b[k] {
-			out[k] = true
-		}
-	}
-	return out
-}
-
-type boundWalker struct {
-	pkg      *Package
-	analyzer string
-	findings []Finding
-
-	// check, when set, replaces the default make-slice/ReadAll checks:
-	// checkExpr hands every call plus the current bound state to it.
-	// boundedchan reuses the walker's guard/clamp tracking this way.
-	check func(call *ast.CallExpr, capped boundSet)
-}
-
-// walkStmts processes a statement list sequentially, mutating capped
-// in place as facts are established.
-func (w *boundWalker) walkStmts(list []ast.Stmt, capped boundSet) {
-	for _, stmt := range list {
-		w.walkStmt(stmt, capped)
-	}
-}
-
-func (w *boundWalker) walkStmt(stmt ast.Stmt, capped boundSet) {
-	switch s := stmt.(type) {
-	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			w.checkExpr(rhs, capped)
-		}
-		w.applyAssign(s, capped)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, v := range vs.Values {
-					w.checkExpr(v, capped)
-				}
-				if len(vs.Values) == len(vs.Names) {
-					for i, name := range vs.Names {
-						if obj := w.pkg.Info.Defs[name]; obj != nil {
-							if w.bounded(vs.Values[i], capped) {
-								capped[obj] = true
-							}
-						}
-					}
-				}
-			}
-		}
-	case *ast.IfStmt:
-		w.walkIf(s, capped)
-	case *ast.ForStmt:
-		inner := capped.clone()
-		if s.Init != nil {
-			w.walkStmt(s.Init, inner)
-		}
-		if s.Cond != nil {
-			w.checkExpr(s.Cond, inner)
-			for _, fact := range condFacts(w.pkg, s.Cond, true) {
-				inner[fact] = true
-			}
-		}
-		if s.Post != nil {
-			w.walkStmt(s.Post, inner)
-		}
-		w.walkStmts(s.Body.List, inner)
-	case *ast.RangeStmt:
-		w.checkExpr(s.X, capped)
-		w.walkStmts(s.Body.List, capped.clone())
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, capped)
-		}
-		if s.Tag != nil {
-			w.checkExpr(s.Tag, capped)
-		}
-		for _, cc := range s.Body.List {
-			if clause, ok := cc.(*ast.CaseClause); ok {
-				inner := capped.clone()
-				if s.Tag == nil {
-					// Tagless switch: a clause body runs under its own
-					// condition's truth.
-					for _, cond := range clause.List {
-						for _, fact := range condFacts(w.pkg, cond, true) {
-							inner[fact] = true
-						}
-					}
-				}
-				w.walkStmts(clause.Body, inner)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		ast.Inspect(s, func(n ast.Node) bool {
-			if inner, ok := n.(*ast.CaseClause); ok {
-				w.walkStmts(inner.Body, capped.clone())
-				return false
-			}
-			return true
-		})
-	case *ast.SelectStmt:
-		for _, cc := range s.Body.List {
-			if clause, ok := cc.(*ast.CommClause); ok {
-				if clause.Comm != nil {
-					w.walkStmt(clause.Comm, capped.clone())
-				}
-				w.walkStmts(clause.Body, capped.clone())
-			}
-		}
-	case *ast.BlockStmt:
-		w.walkStmts(s.List, capped)
-	case *ast.ExprStmt:
-		w.checkExpr(s.X, capped)
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			w.checkExpr(r, capped)
-		}
-	case *ast.DeferStmt:
-		w.checkExpr(s.Call, capped)
-	case *ast.GoStmt:
-		w.checkExpr(s.Call, capped)
-	case *ast.SendStmt:
-		w.checkExpr(s.Chan, capped)
-		w.checkExpr(s.Value, capped)
-	case *ast.IncDecStmt:
-		w.checkExpr(s.X, capped)
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt, capped)
-	}
-}
-
-// walkIf handles the two guard idioms that establish boundedness:
-// abort-on-oversize and clamp. The post-state is the intersection of
-// the branch exit states, where a terminating branch (return, panic,
-// break/continue/goto) contributes nothing.
-func (w *boundWalker) walkIf(s *ast.IfStmt, capped boundSet) {
-	if s.Init != nil {
-		w.walkStmt(s.Init, capped)
-	}
-	w.checkExpr(s.Cond, capped)
-
-	bodySet := capped.clone()
-	for _, fact := range condFacts(w.pkg, s.Cond, true) {
-		bodySet[fact] = true
-	}
-	w.walkStmts(s.Body.List, bodySet)
-
-	elseSet := capped.clone()
-	for _, fact := range condFacts(w.pkg, s.Cond, false) {
-		elseSet[fact] = true
-	}
-	if s.Else != nil {
-		w.walkStmt(s.Else, elseSet)
-	}
-
-	bodyTerm := terminates(s.Body)
-	elseTerm := s.Else != nil && stmtTerminates(s.Else)
-
-	var after boundSet
-	switch {
-	case bodyTerm && elseTerm:
-		after = elseSet // unreachable fallthrough; keep something sane
-	case bodyTerm:
-		after = elseSet
-	case elseTerm:
-		after = bodySet
-	default:
-		after = intersect(bodySet, elseSet)
-	}
-	// Write the merged facts back into the caller's set.
-	for k := range capped {
-		if !after[k] {
-			delete(capped, k)
-		}
-	}
-	for k := range after {
-		capped[k] = true
-	}
-}
-
-// applyAssign updates boundedness for an assignment.
-func (w *boundWalker) applyAssign(s *ast.AssignStmt, capped boundSet) {
-	// Multi-value from a single call (x, err := f()): everything
-	// becomes unbounded.
-	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
-		if _, ok := s.Rhs[0].(*ast.CallExpr); ok {
-			for _, lhs := range s.Lhs {
-				if obj := w.lhsObject(lhs); obj != nil {
-					delete(capped, obj)
-				}
-			}
-			return
-		}
-	}
-	for i, lhs := range s.Lhs {
-		obj := w.lhsObject(lhs)
-		if obj == nil {
-			continue
-		}
-		if i >= len(s.Rhs) {
-			delete(capped, obj)
-			continue
-		}
-		rhs := s.Rhs[i]
-		switch s.Tok {
-		case token.ASSIGN, token.DEFINE:
-			if w.bounded(rhs, capped) {
-				capped[obj] = true
-			} else {
-				delete(capped, obj)
-			}
-		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.SHL_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
-			// x op= y stays bounded only if both sides already were.
-			if !(capped[obj] && w.bounded(rhs, capped)) {
-				delete(capped, obj)
-			}
-		case token.REM_ASSIGN, token.AND_ASSIGN:
-			// x %= y and x &= y are bounded whenever y is.
-			if !(capped[obj] || w.bounded(rhs, capped)) {
-				delete(capped, obj)
-			} else {
-				capped[obj] = true
-			}
-		case token.QUO_ASSIGN, token.SHR_ASSIGN:
-			// x /= y and x >>= y never increase x.
-		default:
-			delete(capped, obj)
-		}
-	}
-}
-
-func (w *boundWalker) lhsObject(lhs ast.Expr) types.Object {
-	id, ok := unparen(lhs).(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	if obj := w.pkg.Info.Defs[id]; obj != nil {
-		return obj
-	}
-	return w.pkg.Info.Uses[id]
-}
-
-// checkExpr scans an expression tree for make() calls and io.ReadAll,
-// reporting unbounded sizes. Function literals are skipped here; the
-// driver walks their bodies as independent functions.
-func (w *boundWalker) checkExpr(expr ast.Expr, capped boundSet) {
-	if expr == nil {
-		return
-	}
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if w.check != nil {
-			w.check(call, capped)
-			return true
-		}
-		if w.isMakeSlice(call) {
-			for _, arg := range call.Args[1:] {
-				if !w.bounded(arg, capped) {
-					w.findings = append(w.findings, Finding{
-						Pos:      w.pkg.Fset.Position(call.Pos()),
-						Analyzer: w.analyzer,
-						Message: fmt.Sprintf("make sized by %s, which is not provably capped: bound it before allocating",
-							types.ExprString(arg)),
-					})
-					break
-				}
-			}
-		}
-		if w.isReadAll(call) {
-			w.findings = append(w.findings, Finding{
-				Pos:      w.pkg.Fset.Position(call.Pos()),
-				Analyzer: w.analyzer,
+		switch sink.Kind {
+		case ir.SinkAlloc:
+			findings = append(findings, Finding{
+				Pos:      sink.Fn.Pkg.Fset.Position(sink.Pos),
+				Analyzer: b.Name(),
+				Message: fmt.Sprintf("make sized by %s, which is not provably capped: bound it before allocating",
+					sink.Expr),
+			})
+		case ir.SinkReadAll:
+			findings = append(findings, Finding{
+				Pos:      sink.Fn.Pkg.Fset.Position(sink.Pos),
+				Analyzer: b.Name(),
 				Message:  "io.ReadAll reads until EOF with no size bound: use io.LimitReader or a length-checked buffer",
 			})
 		}
-		return true
-	})
-}
-
-// isMakeSlice reports whether call is make of a slice type.
-func (w *boundWalker) isMakeSlice(call *ast.CallExpr) bool {
-	id, ok := unparen(call.Fun).(*ast.Ident)
-	if !ok || id.Name != "make" || len(call.Args) < 2 {
-		return false
 	}
-	if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
-		return false
-	}
-	tv, ok := w.pkg.Info.Types[call.Args[0]]
-	if !ok {
-		return false
-	}
-	_, isSlice := tv.Type.Underlying().(*types.Slice)
-	return isSlice
-}
-
-// isReadAll reports whether call invokes io.ReadAll (or the legacy
-// io/ioutil.ReadAll).
-func (w *boundWalker) isReadAll(call *ast.CallExpr) bool {
-	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Name() != "ReadAll" || fn.Pkg() == nil {
-		return false
-	}
-	return fn.Pkg().Path() == "io" || fn.Pkg().Path() == "io/ioutil"
-}
-
-// bounded reports whether expr's value is provably bounded in the
-// current state.
-func (w *boundWalker) bounded(expr ast.Expr, capped boundSet) bool {
-	expr = unparen(expr)
-	if tv, ok := w.pkg.Info.Types[expr]; ok {
-		// Compile-time constants are bounded by definition.
-		if tv.Value != nil {
-			return true
-		}
-		// Small fixed-width integers cannot express an attacker-sized
-		// length: a byte tops out at 255, a uint16 at 65535.
-		if basic, ok := tv.Type.Underlying().(*types.Basic); ok {
-			switch basic.Kind() {
-			case types.Bool, types.Int8, types.Uint8, types.Int16, types.Uint16:
-				return true
-			}
-		}
-	}
-	switch e := expr.(type) {
-	case *ast.Ident:
-		if obj := w.pkg.Info.Uses[e]; obj != nil {
-			return capped[obj]
-		}
-		return false
-	case *ast.BinaryExpr:
-		switch e.Op {
-		case token.REM, token.AND:
-			// v % c ∈ [0, c); v & c ≤ c.
-			return w.bounded(e.Y, capped) || (w.bounded(e.X, capped) && w.bounded(e.Y, capped))
-		case token.QUO, token.SHR:
-			// v / c ≤ v; v >> c ≤ v.
-			return w.bounded(e.X, capped)
-		case token.ADD, token.SUB, token.MUL, token.SHL, token.OR, token.XOR, token.AND_NOT:
-			return w.bounded(e.X, capped) && w.bounded(e.Y, capped)
-		default:
-			return false
-		}
-	case *ast.UnaryExpr:
-		return w.bounded(e.X, capped)
-	case *ast.CallExpr:
-		// Builtins len/cap are bounded by in-memory data; min is
-		// bounded if any argument is. A type conversion is as bounded
-		// as its operand.
-		if id, ok := unparen(e.Fun).(*ast.Ident); ok {
-			if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok {
-				switch b.Name() {
-				case "len", "cap":
-					return true
-				case "min":
-					for _, arg := range e.Args {
-						if w.bounded(arg, capped) {
-							return true
-						}
-					}
-					return false
-				}
-				return false
-			}
-		}
-		if tv, ok := w.pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
-			return w.bounded(e.Args[0], capped)
-		}
-		return false
-	}
-	return false
-}
-
-// condFacts extracts the objects proven bounded when cond evaluates
-// to the given truth value. For truth=true it decomposes && chains
-// (all operands hold); for truth=false it decomposes || chains (all
-// negations hold). A comparison bounds the variable on its small
-// side: `v < cap` bounds v when true; `v > cap` bounds v when false.
-func condFacts(pkg *Package, cond ast.Expr, truth bool) []types.Object {
-	cond = unparen(cond)
-	switch e := cond.(type) {
-	case *ast.BinaryExpr:
-		switch e.Op {
-		case token.LAND:
-			if truth {
-				return append(condFacts(pkg, e.X, true), condFacts(pkg, e.Y, true)...)
-			}
-			return nil
-		case token.LOR:
-			if !truth {
-				return append(condFacts(pkg, e.X, false), condFacts(pkg, e.Y, false)...)
-			}
-			return nil
-		case token.LSS, token.LEQ:
-			// x < y: true bounds x, false bounds y.
-			if truth {
-				return identObjects(pkg, e.X)
-			}
-			return identObjects(pkg, e.Y)
-		case token.GTR, token.GEQ:
-			// x > y: true bounds y, false bounds x.
-			if truth {
-				return identObjects(pkg, e.Y)
-			}
-			return identObjects(pkg, e.X)
-		}
-	case *ast.UnaryExpr:
-		if e.Op == token.NOT {
-			return condFacts(pkg, e.X, !truth)
-		}
-	}
-	return nil
-}
-
-// identObjects returns the object behind expr if it is a plain
-// identifier (possibly through a conversion like uint64(v)).
-func identObjects(pkg *Package, expr ast.Expr) []types.Object {
-	expr = unparen(expr)
-	if call, ok := expr.(*ast.CallExpr); ok && len(call.Args) == 1 {
-		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
-			expr = unparen(call.Args[0])
-		}
-	}
-	if id, ok := expr.(*ast.Ident); ok {
-		if obj := pkg.Info.Uses[id]; obj != nil {
-			return []types.Object{obj}
-		}
-	}
-	return nil
-}
-
-// terminates reports whether a block always transfers control away
-// (return, panic, or branch) at its end.
-func terminates(block *ast.BlockStmt) bool {
-	if block == nil || len(block.List) == 0 {
-		return false
-	}
-	return stmtTerminates(block.List[len(block.List)-1])
-}
-
-func stmtTerminates(stmt ast.Stmt) bool {
-	switch s := stmt.(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.BranchStmt:
-		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	case *ast.BlockStmt:
-		return terminates(s)
-	case *ast.IfStmt:
-		return terminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
-	}
-	return false
+	return findings
 }

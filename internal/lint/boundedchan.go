@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+
+	"repro/internal/lint/ir"
 )
 
 // BoundedChan pins the Finder shard-queue discipline: queues between
@@ -14,10 +16,11 @@ import (
 //
 //   - Every make(chan T, n) capacity must be provably capped — a
 //     constant, a small fixed-width integer, or a value clamped by a
-//     dominating guard. The capacity walk reuses boundedalloc's
-//     flow-sensitive boundedness tracking, so `if n > max { n = max }`
-//     clamping works here too. An attacker- or config-sized capacity
-//     is a hidden unbounded buffer.
+//     dominating guard. The capacity check plugs into the shared
+//     ir.TaintAnalysis engine (the same one boundedalloc runs on), so
+//     `if n > max { n = max }` clamping works here too — including a
+//     clamp inside a module-local callee. An attacker- or config-sized
+//     capacity is a hidden unbounded buffer.
 //
 //   - Every send into a channel the package visibly made buffered
 //     must sit under a select with an escape arm (a default clause or
@@ -44,16 +47,36 @@ func (b *BoundedChan) Doc() string {
 
 // Run implements Analyzer.
 func (b *BoundedChan) Run(l *Loader, pkgs []*Package) []Finding {
-	var findings []Finding
+	checkers := make(map[string]*chanChecker, len(pkgs))
+	var order []*chanChecker
 	for _, pkg := range pkgs {
 		if len(b.Packages) > 0 && !matchesAny(pkg.Path, b.Packages) {
 			continue
 		}
 		c := &chanChecker{pkg: pkg, analyzer: b.Name(), buffered: make(map[types.Object]bool)}
 		c.collectChans()
-		for _, file := range pkg.Files {
+		checkers[pkg.Path] = c
+		order = append(order, c)
+	}
+	// One engine pass over the whole module supplies the flow-sensitive
+	// boundedness state (guards, clamps, callee-summary caps) that the
+	// capacity check consults at every make(chan) site.
+	eng := &ir.TaintAnalysis{
+		Prog: l.Program(pkgs),
+		Mode: ir.ModePessimistic,
+		CallCheck: func(f *ir.Func, call *ast.CallExpr, bounded func(ast.Expr) bool) {
+			c := checkers[f.Pkg.Path]
+			if c == nil {
+				return
+			}
+			c.checkCap(call, bounded)
+		},
+	}
+	eng.Run()
+	var findings []Finding
+	for _, c := range order {
+		for _, file := range c.pkg.Files {
 			for _, body := range funcBodies(file) {
-				c.checkCaps(body)
 				c.checkSends(body.List, nil)
 			}
 		}
@@ -198,25 +221,21 @@ func (c *chanChecker) chanObj(expr ast.Expr) types.Object {
 	return nil
 }
 
-// checkCaps runs boundedalloc's flow walk over one function body with
-// the make-chan capacity check plugged in.
-func (c *chanChecker) checkCaps(body *ast.BlockStmt) {
-	w := &boundWalker{pkg: c.pkg, analyzer: c.analyzer}
-	w.check = func(call *ast.CallExpr, capped boundSet) {
-		if _, isMakeChan := c.makeChanBuffered(call); !isMakeChan || len(call.Args) < 2 {
-			return
-		}
-		if !w.bounded(call.Args[1], capped) {
-			c.findings = append(c.findings, Finding{
-				Pos:      c.pkg.Fset.Position(call.Pos()),
-				Analyzer: c.analyzer,
-				Message: fmt.Sprintf("channel capacity %s is not provably capped: use a constant or clamp it before make",
-					types.ExprString(call.Args[1])),
-			})
-		}
+// checkCap is the taint engine's CallCheck hook: every make(chan T, n)
+// capacity must pass the engine's boundedness proof in the flow state
+// holding at the call site.
+func (c *chanChecker) checkCap(call *ast.CallExpr, bounded func(ast.Expr) bool) {
+	if _, isMakeChan := c.makeChanBuffered(call); !isMakeChan || len(call.Args) < 2 {
+		return
 	}
-	w.walkStmts(body.List, newBoundSet())
-	c.findings = append(c.findings, w.findings...)
+	if !bounded(call.Args[1]) {
+		c.findings = append(c.findings, Finding{
+			Pos:      c.pkg.Fset.Position(call.Pos()),
+			Analyzer: c.analyzer,
+			Message: fmt.Sprintf("channel capacity %s is not provably capped: use a constant or clamp it before make",
+				types.ExprString(call.Args[1])),
+		})
+	}
 }
 
 // checkSends walks statements looking for sends on known-buffered

@@ -5,7 +5,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"go/build"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -40,15 +43,36 @@ type CacheFile struct {
 	Findings []Finding `json:"findings"`
 }
 
-// CacheConfig fingerprints everything apart from source content that
-// determines the findings: the module, and which analyzers ran.
+// ToolchainFingerprint identifies the Go toolchain a run analyzed
+// under. The loader type-checks std from $GOROOT source, so findings
+// depend on the toolchain as much as on the module: upgrading Go can
+// change std signatures (and therefore dataflow through them) without
+// touching a single module file. The fingerprint folds in the running
+// toolchain version, the GOROOT the loader will read std from (the
+// go/build resolution, which honours $GOROOT), and the content of
+// that tree's VERSION file so a re-pointed or patched GOROOT misses
+// even when the binary was built by the same release.
+func ToolchainFingerprint() string {
+	goroot := build.Default.GOROOT
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", runtime.Version(), goroot)
+	if data, err := os.ReadFile(filepath.Join(goroot, "VERSION")); err == nil {
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// CacheConfig fingerprints everything apart from module source content
+// that determines the findings: the module, the toolchain whose std
+// sources feed type-checking, and which analyzers ran.
 func CacheConfig(modulePath string, analyzers []Analyzer) string {
 	names := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
 		names = append(names, a.Name())
 	}
 	sort.Strings(names)
-	return fmt.Sprintf("v%d|%s|%s", cacheVersion, modulePath, strings.Join(names, ","))
+	return fmt.Sprintf("v%d|%s|%s|%s",
+		cacheVersion, ToolchainFingerprint(), modulePath, strings.Join(names, ","))
 }
 
 // DigestPackages hashes every module package's source file set by

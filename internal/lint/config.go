@@ -1,6 +1,6 @@
 package lint
 
-// RepoAnalyzers returns the eleven invariant analyzers configured for
+// RepoAnalyzers returns the twelve invariant analyzers configured for
 // this repository's contracts. module is the module path from go.mod
 // ("repro"); taking it as a parameter keeps the analyzers themselves
 // reusable against the golden testdata trees, which load under a
@@ -128,5 +128,41 @@ func RepoAnalyzers(module string) []Analyzer {
 		// bounded queue, and bounded queues drop-or-degrade instead of
 		// stalling their producer (the Finder shard-queue contract).
 		&BoundedChan{},
+		&WireTaint{
+			// The wire codecs: their exported decode APIs are taint
+			// sources at every cross-package call site, and their own
+			// decode entry-point []byte parameters are wire at entry.
+			SourcePackages: []string{
+				module + "/internal/rlp",
+				module + "/internal/rlpx",
+				module + "/internal/devp2p",
+				module + "/internal/eth",
+				module + "/internal/snappy",
+				module + "/internal/discv4",
+			},
+			// Where wire-tainted sinks are reported: the codecs plus the
+			// long-lived stores peer-derived values land in (the node
+			// database, the Finder's suppression tables, enode records).
+			ReportPackages: []string{
+				module + "/internal/rlp",
+				module + "/internal/rlpx",
+				module + "/internal/devp2p",
+				module + "/internal/eth",
+				module + "/internal/snappy",
+				module + "/internal/discv4",
+				module + "/internal/nodefinder",
+				module + "/internal/nodedb",
+				module + "/internal/enode",
+			},
+			// Entropy and digest readers are not peer input: without
+			// this, GenerateKey's io.ReadFull(rand, ...) would taint
+			// every key-carrying config in the module.
+			EntropyPackages: []string{
+				"crypto",
+				"math/rand",
+				"hash",
+				module + "/internal/crypto",
+			},
+		},
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"repro/internal/lint/ir"
 )
 
 // ConnClose verifies that every net.Conn acquired from a dial- or
@@ -143,7 +145,7 @@ func analyzeAcquisition(pkg *Package, body *ast.BlockStmt, a acquisition, analyz
 
 	// The implicit exit at the end of the function counts as a return
 	// unless the body already ends in a terminating statement.
-	if !terminates(body) {
+	if !ir.Terminates(body) {
 		returns = append(returns, returnSite{pos: body.End(), path: []*ast.BlockStmt{body}})
 	}
 

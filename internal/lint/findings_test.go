@@ -109,6 +109,115 @@ func TestWriteAnnotations(t *testing.T) {
 	}
 }
 
+// TestWriteSARIF pins the code-scanning contract: a valid SARIF 2.1.0
+// envelope, a rule per analyzer plus the "lint" pseudo-rule, and each
+// finding rendered as an error result with a slash-normalized URI.
+func TestWriteSARIF(t *testing.T) {
+	var sb strings.Builder
+	analyzers := []Analyzer{&Wallclock{}, &WireTaint{}}
+	fs := []Finding{
+		mkFinding("internal/x/x.go", 12, 5, "wiretaint", "wire-tainted allocation size: n"),
+	}
+	if err := WriteSARIF(&sb, analyzers, fs); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("envelope: version=%q schema=%q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "repolint" {
+		t.Errorf("driver name = %q, want repolint", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"wallclock", "wiretaint", "lint"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule table is missing %q: %v", want, ruleIDs)
+		}
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "wiretaint" || res.Level != "error" ||
+		res.Message.Text != "wire-tainted allocation size: n" {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/x/x.go" ||
+		loc.Region.StartLine != 12 || loc.Region.StartColumn != 5 {
+		t.Errorf("unexpected location: %+v", loc)
+	}
+
+	// The empty run still carries the full rule table, so an upload
+	// from a clean tree closes previously open alerts.
+	sb.Reset()
+	if err := WriteSARIF(&sb, analyzers, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"results": []`) {
+		t.Errorf("empty run must render an empty results array:\n%s", sb.String())
+	}
+}
+
+// TestCacheConfigToolchain pins the stale-cache fix: the config
+// fingerprint embeds the toolchain identity, so findings cached under
+// one Go release can never be replayed under another.
+func TestCacheConfigToolchain(t *testing.T) {
+	fp := ToolchainFingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q: want 16 hex chars", fp)
+	}
+	if fp2 := ToolchainFingerprint(); fp2 != fp {
+		t.Errorf("fingerprint is not deterministic: %q then %q", fp, fp2)
+	}
+	config := CacheConfig("example.com/mod", []Analyzer{&Wallclock{}})
+	if !strings.Contains(config, fp) {
+		t.Errorf("CacheConfig %q does not embed the toolchain fingerprint %q", config, fp)
+	}
+	if !strings.Contains(config, "wallclock") || !strings.Contains(config, "example.com/mod") {
+		t.Errorf("CacheConfig %q lost the analyzer set or module path", config)
+	}
+}
+
 // TestCacheRoundTrip checks the digest/hit/save/load cycle: identical
 // content hits, any content change misses, and the persisted findings
 // survive the round trip.

@@ -43,6 +43,11 @@ func testAnalyzers() []Analyzer {
 		&FrozenPublish{Packages: []string{"lintest/frozenpublish"}},
 		&SharedState{Packages: []string{"lintest/sharedstate"}},
 		&BoundedChan{Packages: []string{"lintest/boundedchan"}},
+		&WireTaint{
+			SourcePackages:  []string{"lintest/wiretaint/codec"},
+			ReportPackages:  []string{"lintest/wiretaint"},
+			EntropyPackages: []string{"lintest/wiretaint/entropy"},
+		},
 	}
 }
 
@@ -161,10 +166,11 @@ func TestGolden(t *testing.T) {
 		"goroutinelife": 3,
 		"deadlineflow":  3,
 		"wiresym":       6,
-		"lint":          4,
+		"lint":          5,
 		"frozenpublish": 3,
 		"sharedstate":   3,
 		"boundedchan":   3,
+		"wiretaint":     9,
 	} {
 		if perAnalyzer[name] < minimum {
 			t.Errorf("analyzer %s reported %d findings in the golden universe, want at least %d",

@@ -1,0 +1,121 @@
+// Package bad demonstrates every sink kind wiretaint must flag: a
+// peer-controlled value sizing an allocation, bounding a loop, keying
+// a long-lived map, setting a timer, multiplying goroutines, and
+// sizing a channel — plus taint that crosses a function boundary and
+// is reported with its call-site witness chain.
+package bad
+
+import (
+	"encoding/binary"
+	"io"
+	"time"
+
+	"lintest/wiretaint/codec"
+)
+
+// ReadFrame sizes its buffer by whatever the decoded header declared.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	f := codec.DecodeFrame(hdr)
+	buf := make([]byte, f.Size) // want "wire-tainted allocation size: f.Size derives from codec.DecodeFrame"
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// DrainCount loops as many times as the peer asked.
+func DrainCount(r io.Reader) []byte {
+	hdr := make([]byte, 4)
+	if _, err := r.Read(hdr); err != nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	var out []byte
+	for i := uint32(0); i < n; i++ { // want "wire-tainted loop bound: n derives from conn read"
+		out = append(out, byte(i))
+	}
+	return out
+}
+
+// seen outlives every call: a long-lived index.
+var seen = make(map[uint64]int)
+
+// Record indexes the long-lived map by a peer-chosen ID.
+func Record(r io.Reader) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	id := binary.BigEndian.Uint64(hdr)
+	seen[id]++ // want "wire-tainted long-lived map key: id derives from io.ReadFull"
+}
+
+// Backoff sleeps however long the peer requested.
+func Backoff(r io.Reader) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	delay := binary.BigEndian.Uint64(hdr)
+	time.Sleep(time.Duration(delay)) // want "wire-tainted timer/deadline duration: time.Duration\\(delay\\)"
+}
+
+// FanOut spawns one goroutine per peer-declared shard.
+func FanOut(r io.Reader) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	shards := binary.BigEndian.Uint32(hdr)
+	for i := uint32(0); i < shards; i++ { // want "wire-tainted loop bound: shards"
+		go work() // want "wire-tainted goroutine spawn count: work"
+	}
+}
+
+func work() {}
+
+// Queue sizes the work queue by the peer's declared backlog.
+func Queue(r io.Reader) chan []byte {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil
+	}
+	backlog := binary.BigEndian.Uint32(hdr)
+	return make(chan []byte, backlog) // want "wire-tainted channel capacity: backlog"
+}
+
+// grow allocates whatever count its caller resolved: the finding is
+// reported here, with the witness chain naming Relay's call site.
+func grow(count uint64) []uint64 {
+	return make([]uint64, count) // want "wire-tainted allocation size: count derives from io.ReadFull at bad.go:\\d+; path: param count of [\\w./]*grow ← [\\w./]*Relay \\(bad.go:\\d+\\)"
+}
+
+// Relay passes the peer's count straight through to grow.
+func Relay(r io.Reader) []uint64 {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil
+	}
+	count := binary.BigEndian.Uint64(hdr)
+	return grow(count)
+}
+
+// census is the one map that is allowed to grow with the network.
+var census = make(map[uint64]int)
+
+// Census records every peer that ever spoke. The map-key finding is
+// real, but the growth IS the measurement, so it carries a justified
+// suppression and stays silent.
+func Census(r io.Reader) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	id := binary.BigEndian.Uint64(hdr)
+	//lint:ignore wiretaint the census map is the measurement: it must grow with every distinct peer
+	census[id]++
+}

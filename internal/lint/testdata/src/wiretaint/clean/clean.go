@@ -1,0 +1,149 @@
+// Package clean mirrors every shape in the bad twin with a sanitizer
+// the engine must recognize: an abort-on-oversize guard, the clamp
+// idiom, a frame-local map, a clamp inside a callee (sanitizing
+// through the memoized summary), the min builtin, a 16-bit length
+// prefix, and an exempted entropy reader. It must stay silent.
+package clean
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"time"
+
+	"lintest/wiretaint/codec"
+	"lintest/wiretaint/entropy"
+)
+
+const (
+	maxFrame   = 1 << 16
+	maxCount   = 1024
+	maxBacklog = 256
+	maxDelay   = time.Second
+)
+
+var errOversize = errors.New("frame too large")
+
+// ReadFrame aborts on an oversize declaration before allocating.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	f := codec.DecodeFrame(hdr)
+	size := f.Size
+	if size > maxFrame {
+		return nil, errOversize
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// DrainCount clamps the trip count before looping.
+func DrainCount(r io.Reader) []byte {
+	hdr := make([]byte, 4)
+	if _, err := r.Read(hdr); err != nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxCount {
+		n = maxCount
+	}
+	var out []byte
+	for i := uint32(0); i < n; i++ {
+		out = append(out, byte(i))
+	}
+	return out
+}
+
+// Record tallies peer IDs in a frame-local map that dies with the
+// call: a wire key into a short-lived map is not a resource leak.
+func Record(r io.Reader) int {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0
+	}
+	id := binary.BigEndian.Uint64(hdr)
+	local := make(map[uint64]int)
+	local[id]++
+	return len(local)
+}
+
+// Backoff clamps the peer's requested delay to the local budget.
+func Backoff(r io.Reader) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	delay := time.Duration(binary.BigEndian.Uint64(hdr))
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	time.Sleep(delay)
+}
+
+// clamp caps any peer count at the census budget: the callee-side
+// sanitizer whose memoized summary bounds every call site.
+func clamp(n uint64) uint64 {
+	if n > maxCount {
+		return maxCount
+	}
+	return n
+}
+
+// FanOut spawns at most clamp(shards) workers: the clamp inside the
+// callee sanitizes this call site through its summary.
+func FanOut(r io.Reader) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	shards := clamp(binary.BigEndian.Uint64(hdr))
+	for i := uint64(0); i < shards; i++ {
+		go work()
+	}
+}
+
+func work() {}
+
+// Queue caps the queue depth with the min builtin.
+func Queue(r io.Reader) chan []byte {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil
+	}
+	backlog := binary.BigEndian.Uint32(hdr)
+	return make(chan []byte, min(int(backlog), maxBacklog))
+}
+
+// Prefix reads a 2-byte length prefix: 16 bits cannot express a
+// hostile allocation, so the width itself is the sanitizer.
+func Prefix(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(hdr)
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// Seed sizes a table from the entropy stream, not the wire: the
+// exempted reader is the node's own randomness, so the count is not
+// peer-chosen and no finding fires.
+func Seed(src *entropy.Reader) []uint64 {
+	var buf [8]byte
+	if _, err := src.Read(buf[:]); err != nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint64(buf[:])
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = n
+	}
+	return out
+}

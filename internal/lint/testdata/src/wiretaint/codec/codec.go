@@ -1,0 +1,39 @@
+// Package codec is the golden universe's wire codec: wiretaint is
+// configured with this package as a source, so its exported decode
+// APIs inject taint at cross-package call sites and the []byte
+// parameters of those entry points are wire at function entry.
+package codec
+
+import "encoding/binary"
+
+// Frame is a decoded frame header: every field is peer-chosen.
+type Frame struct {
+	Size  uint64
+	Delay uint64
+}
+
+// DecodeFrame parses a frame header out of wire bytes. It has no
+// sinks of its own; callers receive a wire-tainted Frame.
+func DecodeFrame(data []byte) Frame {
+	if len(data) < 16 {
+		return Frame{}
+	}
+	return Frame{
+		Size:  binary.BigEndian.Uint64(data[0:8]),
+		Delay: binary.BigEndian.Uint64(data[8:16]),
+	}
+}
+
+// DecodeList preallocates the element count the peer declared: the
+// entry-parameter taint root, caught inside the source package itself.
+func DecodeList(data []byte) []uint64 {
+	if len(data) < 8 {
+		return nil
+	}
+	n := binary.BigEndian.Uint64(data)
+	out := make([]uint64, 0, n)      // want "wire-tainted allocation size: n derives from wire input data of [\\w./]*DecodeList"
+	for i := uint64(0); i < n; i++ { // want "wire-tainted loop bound: n derives from wire input data of [\\w./]*DecodeList"
+		out = append(out, i)
+	}
+	return out
+}

@@ -237,7 +237,6 @@ func sealEIP8(msg any, remotePub *secp256k1.PublicKey) ([]byte, error) {
 	}
 	// Random padding of 100-300 bytes disguises the message type.
 	padLen := 100 + randByteInt(200)
-	//lint:ignore boundedalloc padLen comes from the local RNG and is at most 300
 	pad := make([]byte, padLen)
 	rand.Read(pad)
 	body = append(body, pad...)

@@ -75,7 +75,6 @@ func Encode(src []byte) ([]byte, error) {
 	if len(src) > MaxBlockSize {
 		return nil, fmt.Errorf("snappy: input of %d bytes exceeds block limit", len(src))
 	}
-	//lint:ignore boundedalloc egress compression buffer; src was checked against MaxBlockSize above
 	dst := uvarint(make([]byte, 0, MaxEncodedLen(len(src))), uint64(len(src)))
 	if len(src) == 0 {
 		return dst, nil
